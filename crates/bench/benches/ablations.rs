@@ -1,0 +1,174 @@
+//! Ablation studies of Skia's design choices (the set DESIGN.md calls out):
+//! head-decode index policy, valid-path bound, retired-bit replacement,
+//! BTB-resident insertion filter, split-vs-shared SBB budget, FTQ depth.
+//! Each bench returns the metric the ablation trades, so `cargo bench`
+//! doubles as the ablation table generator (values land in Criterion's
+//! reports; EXPERIMENTS.md summarizes a full-size run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skia_bench::{bench_workload, run_sim};
+use skia_core::{IndexPolicy, SbbConfig, SkiaConfig};
+use skia_frontend::FrontendConfig;
+
+const STEPS: usize = 30_000;
+
+fn cfg_with(skia: SkiaConfig) -> FrontendConfig {
+    FrontendConfig::alder_lake_like()
+        .with_btb_entries(2048)
+        .with_skia(skia)
+}
+
+/// First vs Zero vs Merge index policy: rescues and bogus uses.
+fn index_policy(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_index_policy");
+    for policy in IndexPolicy::ALL {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let s = run_sim(
+                    &program,
+                    seed,
+                    trip,
+                    cfg_with(SkiaConfig {
+                        index_policy: policy,
+                        ..SkiaConfig::default()
+                    }),
+                    STEPS,
+                );
+                let sk = s.skia.unwrap();
+                (s.sbb_rescues, sk.bogus_uses, s.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Valid-path (family) bound sweep: 1..8.
+fn valid_path_bound(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_valid_paths");
+    for bound in [1usize, 2, 4, 6, 8] {
+        group.bench_function(format!("max{bound}"), |b| {
+            b.iter(|| {
+                let s = run_sim(
+                    &program,
+                    seed,
+                    trip,
+                    cfg_with(SkiaConfig {
+                        max_valid_paths: bound,
+                        ..SkiaConfig::default()
+                    }),
+                    STEPS,
+                );
+                let sk = s.skia.unwrap();
+                (s.sbb_rescues, sk.sbd.head_regions_discarded)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Retired-bit-aware replacement vs plain LRU in the SBB.
+///
+/// The flag routes through `SkiaConfig`; plain LRU treats every entry as
+/// equally evictable, so bogus entries survive longer (§4.3's motivation).
+fn retired_bit(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_retired_bit");
+    for (name, enabled) in [("retired_lru", true), ("plain_lru", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let s = run_sim(
+                    &program,
+                    seed,
+                    trip,
+                    cfg_with(SkiaConfig {
+                        retired_bit_replacement: enabled,
+                        ..SkiaConfig::default()
+                    }),
+                    STEPS,
+                );
+                (s.sbb_rescues, s.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Insert-filtering on BTB residency: on vs off.
+fn btb_filter(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_btb_filter");
+    for (name, filter) in [("unfiltered", false), ("filtered", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let s = run_sim(
+                    &program,
+                    seed,
+                    trip,
+                    cfg_with(SkiaConfig {
+                        filter_btb_resident: filter,
+                        ..SkiaConfig::default()
+                    }),
+                    STEPS,
+                );
+                let sk = s.skia.unwrap();
+                (s.sbb_rescues, sk.filtered_known)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The U/R split against a single shared budget skewed entirely one way.
+fn sbb_split(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_sbb_split");
+    let configs = [
+        ("paper_split", SbbConfig::default()),
+        ("all_u", SbbConfig::with_budget(12.25, 0.97, 4)),
+        ("all_r", SbbConfig::with_budget(12.25, 0.03, 4)),
+    ];
+    for (name, sbb) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let s = run_sim(
+                    &program,
+                    seed,
+                    trip,
+                    cfg_with(SkiaConfig {
+                        sbb,
+                        ..SkiaConfig::default()
+                    }),
+                    STEPS,
+                );
+                (s.sbb_rescues, s.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// FTQ depth sweep: deeper queues buy prefetch lead time.
+fn ftq_depth(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let mut group = c.benchmark_group("ablation_ftq_depth");
+    for depth in [4usize, 12, 24, 48] {
+        group.bench_function(format!("ftq{depth}"), |b| {
+            b.iter(|| {
+                let mut cfg = FrontendConfig::alder_lake_like().with_btb_entries(2048);
+                cfg.ftq_depth = depth;
+                let s = run_sim(&program, seed, trip, cfg, STEPS);
+                (s.cycles, s.idle_icache_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = index_policy, valid_path_bound, retired_bit, btb_filter, sbb_split, ftq_depth
+}
+criterion_main!(ablations);

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the hot primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skia_bench::{bench_workload, run_sim};
+use skia_core::{IndexPolicy, ShadowDecoder};
+use skia_frontend::FrontendConfig;
+use skia_isa::{decode, encode};
+use skia_uarch::btb::{Btb, BtbConfig};
+use skia_uarch::tage::{Tage, TageConfig};
+use skia_isa::BranchKind;
+
+fn isa_decode(c: &mut Criterion) {
+    // A realistic instruction mix.
+    let mut bytes = Vec::new();
+    let mut offsets = vec![0usize];
+    for sel in 0..4096u64 {
+        encode::emit_nonbranch(&mut bytes, sel.wrapping_mul(0x9E37_79B9));
+        offsets.push(bytes.len());
+    }
+    c.bench_function("isa_decode_throughput", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let off = offsets[i % (offsets.len() - 1)];
+            i += 1;
+            decode::decode(&bytes[off..]).unwrap().len
+        })
+    });
+}
+
+fn shadow_decoding(c: &mut Criterion) {
+    // A line with a mid-line entry and a tail region.
+    let mut line = Vec::new();
+    encode::emit_nonbranch(&mut line, 7);
+    encode::jmp_rel32(&mut line, 0x40);
+    let exit = line.len();
+    encode::emit_nonbranch(&mut line, 3);
+    encode::call_rel32(&mut line, 0x100);
+    encode::ret(&mut line);
+    while line.len() < 64 {
+        encode::nop_exact(&mut line, 1);
+    }
+    let entry = 24usize;
+
+    c.bench_function("sbd_head_decode", |b| {
+        b.iter_batched(
+            || ShadowDecoder::new(IndexPolicy::Merge, 6),
+            |mut sbd| sbd.decode_head(&line, 0x1000, entry).branches.len(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("sbd_tail_decode", |b| {
+        b.iter_batched(
+            || ShadowDecoder::default(),
+            |mut sbd| sbd.decode_tail(&line, 0x1000, exit).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn btb_ops(c: &mut Criterion) {
+    c.bench_function("btb_insert_lookup", |b| {
+        b.iter_batched(
+            || Btb::new(BtbConfig::with_entries(8192)),
+            |mut btb| {
+                for pc in (0u64..4096).map(|i| 0x40_0000 + i * 7) {
+                    btb.insert(pc, BranchKind::Call, pc ^ 0xFF, 5);
+                }
+                let mut hits = 0;
+                for pc in (0u64..4096).map(|i| 0x40_0000 + i * 7) {
+                    if btb.lookup(pc).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn tage_ops(c: &mut Criterion) {
+    c.bench_function("tage_predict_update", |b| {
+        b.iter_batched(
+            || Tage::new(TageConfig::small()),
+            |mut tage| {
+                let mut wrong = 0u32;
+                for i in 0..512u64 {
+                    let pc = 0x1000 + (i % 16) * 6;
+                    let taken = (i / 16) % 3 != 0;
+                    let p = tage.predict(pc);
+                    if p.taken != taken {
+                        wrong += 1;
+                    }
+                    tage.push_history(taken);
+                    tage.update(pc, &p, taken);
+                }
+                wrong
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn simulator_step_rate(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("simulator_10k_steps_baseline", |b| {
+        b.iter(|| run_sim(&program, seed, trip, FrontendConfig::alder_lake_like(), 10_000).cycles)
+    });
+    c.bench_function("simulator_10k_steps_skia", |b| {
+        b.iter(|| {
+            run_sim(
+                &program,
+                seed,
+                trip,
+                FrontendConfig::alder_lake_with_skia(),
+                10_000,
+            )
+            .cycles
+        })
+    });
+}
+
+fn workload_generation(c: &mut Criterion) {
+    c.bench_function("program_generation_1500_fns", |b| {
+        b.iter(|| {
+            let mut p = skia_workloads::profile("kafka").unwrap();
+            p.spec.functions = 1500;
+            skia_workloads::Program::generate(&p.spec).code_bytes()
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = isa_decode, shadow_decoding, btb_ops, tage_ops, simulator_step_rate, workload_generation
+}
+criterion_main!(components);

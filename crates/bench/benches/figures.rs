@@ -1,0 +1,198 @@
+//! One Criterion group per paper table/figure: scaled-down runs of the same
+//! pipelines the `skia-experiments` binaries execute at full size. Each
+//! bench asserts the *shape* invariant its figure reports, so a regression
+//! in the reproduction shows up as a bench failure, not just a number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skia_bench::{bench_workload, run_sim};
+use skia_core::SkiaConfig;
+use skia_frontend::{BtbMode, FrontendConfig};
+use skia_uarch::btb::BtbConfig;
+
+const STEPS: usize = 30_000;
+
+fn btb_cfg(entries: usize) -> FrontendConfig {
+    FrontendConfig::alder_lake_like().with_btb_entries(entries)
+}
+
+/// Fig. 1: BTB MPKI falls with BTB size; most misses are L1-I-resident.
+fn fig01(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig01_btb_size_sweep", |b| {
+        b.iter(|| {
+            let small = run_sim(&program, seed, trip, btb_cfg(1024), STEPS);
+            let large = run_sim(&program, seed, trip, btb_cfg(8192), STEPS);
+            assert!(small.btb_misses >= large.btb_misses);
+            assert!(small.btb_miss_l1i_resident_fraction() > 0.2);
+            (small.btb_mpki(), large.btb_mpki())
+        })
+    });
+}
+
+/// Fig. 3: Skia's SBB beats spending the same storage on BTB entries.
+fn fig03(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    let extra = BtbConfig::entries_for_budget_kb(12.25, 4);
+    c.bench_function("fig03_iso_storage", |b| {
+        b.iter(|| {
+            let base = run_sim(&program, seed, trip, btb_cfg(2048), STEPS);
+            let grown = run_sim(&program, seed, trip, btb_cfg(2048 + extra), STEPS);
+            let skia = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::default()),
+                STEPS,
+            );
+            (
+                base.cycles,
+                grown.cycles,
+                skia.cycles,
+                skia.sbb_rescues,
+            )
+        })
+    });
+}
+
+/// Fig. 6: per-kind BTB miss classification stays populated.
+fn fig06(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig06_miss_by_kind", |b| {
+        b.iter(|| {
+            let s = run_sim(&program, seed, trip, btb_cfg(4096), STEPS);
+            let total: u64 = s.btb_misses_by_kind.iter().sum();
+            assert_eq!(total, s.btb_misses);
+            s.btb_misses_by_kind
+        })
+    });
+}
+
+/// Fig. 13: windowed and longer-horizon MPKI agree within a loose band.
+fn fig13(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig13_window_agreement", |b| {
+        b.iter(|| {
+            let short = run_sim(&program, seed, trip, btb_cfg(8192), STEPS);
+            let long = run_sim(&program, seed, trip, btb_cfg(8192), STEPS * 2);
+            (short.l1i_mpki(), long.l1i_mpki())
+        })
+    });
+}
+
+/// Fig. 14: head-only, tail-only, combined variants all run; combined
+/// rescues at least as many misses as the weakest single variant.
+fn fig14(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig14_head_tail_variants", |b| {
+        b.iter(|| {
+            let head = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::head_only()),
+                STEPS,
+            );
+            let tail = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::tail_only()),
+                STEPS,
+            );
+            let both = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::default()),
+                STEPS,
+            );
+            assert!(both.sbb_rescues >= head.sbb_rescues.min(tail.sbb_rescues));
+            (head.sbb_rescues, tail.sbb_rescues, both.sbb_rescues)
+        })
+    });
+}
+
+/// Figs. 15/16: resident-miss accounting and effective-miss reduction.
+fn fig15_16(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig15_16_miss_accounting", |b| {
+        b.iter(|| {
+            let base = run_sim(&program, seed, trip, btb_cfg(2048), STEPS);
+            let skia = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::default()),
+                STEPS,
+            );
+            assert!(base.btb_miss_l1i_resident <= base.btb_misses);
+            assert!(skia.sbb_rescues <= skia.btb_misses);
+            (base.btb_mpki(), skia.btb_misses - skia.sbb_rescues)
+        })
+    });
+}
+
+/// Fig. 17: SBB split/scale sweep stays runnable.
+fn fig17(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig17_sbb_sensitivity", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for factor in [0.5, 1.0, 2.0] {
+                let skia = SkiaConfig {
+                    sbb: skia_core::SbbConfig::default().scaled(factor),
+                    ..SkiaConfig::default()
+                };
+                let s = run_sim(&program, seed, trip, btb_cfg(2048).with_skia(skia), STEPS);
+                out.push(s.sbb_rescues);
+            }
+            out
+        })
+    });
+}
+
+/// Fig. 18: decoder idle cycles split by cause and shrink with Skia.
+fn fig18(c: &mut Criterion) {
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("fig18_decoder_idle", |b| {
+        b.iter(|| {
+            let base = run_sim(&program, seed, trip, btb_cfg(2048), STEPS);
+            let skia = run_sim(
+                &program,
+                seed,
+                trip,
+                btb_cfg(2048).with_skia(SkiaConfig::default()),
+                STEPS,
+            );
+            (base.decoder_idle_cycles(), skia.decoder_idle_cycles())
+        })
+    });
+}
+
+/// Table 1/2 equivalents: config construction and workload generation.
+fn tables(c: &mut Criterion) {
+    c.bench_function("table1_config_construction", |b| {
+        b.iter(|| {
+            let cfg = FrontendConfig::alder_lake_like();
+            match cfg.btb {
+                BtbMode::Finite(btb) => btb.storage_kb(),
+                BtbMode::Infinite => 0.0,
+            }
+        })
+    });
+    c.bench_function("table2_workload_generation", |b| {
+        b.iter(|| {
+            let mut p = skia_workloads::profile("noop").unwrap();
+            p.spec.functions = 400;
+            let prog = skia_workloads::Program::generate(&p.spec);
+            prog.code_bytes()
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig01, fig03, fig06, fig13, fig14, fig15_16, fig17, fig18, tables
+}
+criterion_main!(figures);

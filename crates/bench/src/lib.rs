@@ -1,0 +1,32 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The `benches/` targets measure two things:
+//!
+//! * `figures` — scaled-down versions of every paper table/figure runner
+//!   (the full-size regenerators live in `skia-experiments`); useful both
+//!   as throughput benchmarks of the simulator and as smoke tests that the
+//!   experiment pipelines stay runnable.
+//! * `components` — microbenchmarks of the hot primitives: the x86 length
+//!   decoder, head/tail shadow decoding, BTB/SBB/TAGE operations, and the
+//!   end-to-end simulator step rate.
+//! * `ablations` — the design-choice studies DESIGN.md calls out (index
+//!   policy, valid-path bound, retired-bit replacement, BTB-resident
+//!   filter, FTQ depth).
+
+use skia_frontend::{FrontendConfig, SimStats, Simulator};
+use skia_workloads::{profile, Program, Walker};
+
+/// A small but non-trivial benchmark workload (kafka profile shrunk).
+pub fn bench_workload() -> (Program, u64, u32) {
+    let mut p = profile("kafka").expect("kafka profile");
+    p.spec.functions = 1500;
+    let program = Program::generate(&p.spec);
+    (program, p.trace_seed, p.spec.mean_trip_count)
+}
+
+/// Run `steps` of a simulation on the given program.
+pub fn run_sim(program: &Program, seed: u64, trip: u32, config: FrontendConfig, steps: usize) -> SimStats {
+    let trace = Walker::new(program, seed, trip).take(steps);
+    let mut sim = Simulator::new(program, config);
+    sim.run(trace)
+}

@@ -1,0 +1,475 @@
+//! The Shadow Branch Buffer (paper §4.2–4.3).
+//!
+//! A small structure probed **in parallel** with the BTB and filled **off the
+//! critical path** by the Shadow Branch Decoder. It is split by branch class
+//! to exploit entry-size asymmetry:
+//!
+//! * **U-SBB** — direct unconditional jumps and calls. An entry needs the
+//!   full 64-bit target (plus tag/valid/LRU/retired/type bits): 78 bits.
+//! * **R-SBB** — returns. The target comes from the RAS, so an entry only
+//!   identifies the return's location: 10-bit tag + 6-bit line offset +
+//!   valid + LRU + retired + spare = 20 bits.
+//!
+//! The paper's default is 768 U-SBB entries (7.3125 KB) + 2024 R-SBB entries
+//! (4.9375 KB) = **12.25 KB**, both 4-way.
+//!
+//! Replacement is LRU with a twist (§4.3): when a branch supplied by the SBB
+//! commits, its *retired* bit is set; eviction prefers entries whose retired
+//! bit is clear, so bogus branches (artifacts of wrong head-decode paths that
+//! will never commit) leave first.
+
+use skia_isa::BranchKind;
+use skia_uarch::TagArray;
+
+use crate::sbd::ShadowBranch;
+
+/// Bits per U-SBB entry (Fig. 12).
+pub const USBB_ENTRY_BITS: usize = 78;
+/// Bits per R-SBB entry (Fig. 12).
+pub const RSBB_ENTRY_BITS: usize = 20;
+
+/// SBB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbbConfig {
+    /// U-SBB entries (jumps and calls).
+    pub u_entries: usize,
+    /// R-SBB entries (returns).
+    pub r_entries: usize,
+    /// Associativity of both structures.
+    pub ways: usize,
+    /// Prefer evicting entries whose retired bit is clear (§4.3). `false`
+    /// degrades to plain LRU (the replacement-policy ablation).
+    pub retired_aware: bool,
+}
+
+impl Default for SbbConfig {
+    /// The paper's preferred 12.25 KB split (§6.2).
+    fn default() -> Self {
+        SbbConfig {
+            u_entries: 768,
+            r_entries: 2024,
+            ways: 4,
+            retired_aware: true,
+        }
+    }
+}
+
+impl SbbConfig {
+    /// Total storage in KB at the paper's entry sizes.
+    #[must_use]
+    pub fn storage_kb(&self) -> f64 {
+        (self.u_entries * USBB_ENTRY_BITS + self.r_entries * RSBB_ENTRY_BITS) as f64 / 8.0 / 1024.0
+    }
+
+    /// Scale both structures by `factor`, keeping the U:R entry ratio and
+    /// rounding to the associativity (the Fig. 17-bottom sweep).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> SbbConfig {
+        let round = |n: usize| -> usize {
+            let raw = (n as f64 * factor).round() as usize;
+            (raw - raw % self.ways).max(self.ways)
+        };
+        SbbConfig {
+            u_entries: round(self.u_entries),
+            r_entries: round(self.r_entries),
+            ways: self.ways,
+            retired_aware: self.retired_aware,
+        }
+    }
+
+    /// A configuration with `u_entries`/`r_entries` chosen to fill
+    /// `budget_kb` at a given U-SBB share of the *storage* (the Fig. 17-top
+    /// sweep holds total storage constant while moving the split).
+    #[must_use]
+    pub fn with_budget(budget_kb: f64, u_share: f64, ways: usize) -> SbbConfig {
+        let total_bits = budget_kb * 1024.0 * 8.0;
+        let u_bits = total_bits * u_share;
+        let r_bits = total_bits - u_bits;
+        // Round to the nearest whole number of sets; this reproduces the
+        // paper's 768/2024 split from its 7.3125/4.9375 KB budget.
+        let round = |bits: f64, entry_bits: usize| -> usize {
+            let sets = (bits / entry_bits as f64 / ways as f64).round() as usize;
+            sets.max(1) * ways
+        };
+        SbbConfig {
+            u_entries: round(u_bits, USBB_ENTRY_BITS),
+            r_entries: round(r_bits, RSBB_ENTRY_BITS),
+            ways,
+            retired_aware: true,
+        }
+    }
+}
+
+/// U-SBB payload.
+#[derive(Debug, Clone, Copy)]
+struct UEntry {
+    target: u64,
+    len: u8,
+    is_call: bool,
+    retired: bool,
+}
+
+/// R-SBB payload. The 6-bit line offset of Fig. 12 is implied by the PC used
+/// as the key; we keep it for introspection parity with the hardware layout.
+#[derive(Debug, Clone, Copy)]
+struct REntry {
+    line_offset: u8,
+    len: u8,
+    retired: bool,
+}
+
+/// A successful SBB probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbbHit {
+    /// `DirectUncond`, `Call` or `Return`.
+    pub kind: BranchKind,
+    /// Decoded target for jumps/calls; `None` for returns.
+    pub target: Option<u64>,
+    /// Encoded length of the shadow branch (predecode metadata).
+    pub len: u8,
+}
+
+/// Hit/fill counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SbbStats {
+    /// Lookups that hit in the U-SBB.
+    pub u_hits: u64,
+    /// Lookups that hit in the R-SBB.
+    pub r_hits: u64,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Entries inserted into the U-SBB.
+    pub u_inserts: u64,
+    /// Entries inserted into the R-SBB.
+    pub r_inserts: u64,
+    /// Entries whose retired bit was set at commit.
+    pub retirements: u64,
+    /// Evicted entries that had never retired (bogus-or-unused casualties).
+    pub evicted_unretired: u64,
+}
+
+/// The split Shadow Branch Buffer.
+///
+/// Keeps an ordered mirror of resident PCs (both halves) so the BPU can scan
+/// for "the next shadow branch at or after this address" in O(log n), the
+/// same service the BTB provides through its fetch-block indexing.
+#[derive(Debug, Clone)]
+pub struct Sbb {
+    u: TagArray<UEntry>,
+    r: TagArray<REntry>,
+    keys: std::collections::BTreeSet<u64>,
+    config: SbbConfig,
+    stats: SbbStats,
+}
+
+impl Sbb {
+    /// Build an SBB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    #[must_use]
+    pub fn new(config: SbbConfig) -> Self {
+        assert!(config.u_entries % config.ways == 0);
+        assert!(config.r_entries % config.ways == 0);
+        Sbb {
+            u: TagArray::new(config.u_entries / config.ways, config.ways),
+            r: TagArray::new(config.r_entries / config.ways, config.ways),
+            keys: std::collections::BTreeSet::new(),
+            config,
+            stats: SbbStats::default(),
+        }
+    }
+
+    /// The lowest resident shadow-branch PC at or after `pc`.
+    #[must_use]
+    pub fn next_key_at_or_after(&self, pc: u64) -> Option<u64> {
+        self.keys.range(pc..).next().copied()
+    }
+
+    /// Geometry.
+    #[must_use]
+    pub fn config(&self) -> SbbConfig {
+        self.config
+    }
+
+    /// Probe both halves at `pc` (parallel with the BTB lookup).
+    pub fn lookup(&mut self, pc: u64) -> Option<SbbHit> {
+        self.stats.lookups += 1;
+        let uset = self.u.set_of(pc);
+        if let Some(e) = self.u.access(uset, pc) {
+            let hit = SbbHit {
+                kind: if e.is_call {
+                    BranchKind::Call
+                } else {
+                    BranchKind::DirectUncond
+                },
+                target: Some(e.target),
+                len: e.len,
+            };
+            self.stats.u_hits += 1;
+            return Some(hit);
+        }
+        let rset = self.r.set_of(pc);
+        if let Some(e) = self.r.access(rset, pc) {
+            let len = e.len;
+            self.stats.r_hits += 1;
+            return Some(SbbHit {
+                kind: BranchKind::Return,
+                target: None,
+                len,
+            });
+        }
+        None
+    }
+
+    /// Probe without recency/stat updates.
+    #[must_use]
+    pub fn probe(&self, pc: u64) -> Option<SbbHit> {
+        if let Some(e) = self.u.probe(self.u.set_of(pc), pc) {
+            return Some(SbbHit {
+                kind: if e.is_call {
+                    BranchKind::Call
+                } else {
+                    BranchKind::DirectUncond
+                },
+                target: Some(e.target),
+                len: e.len,
+            });
+        }
+        if let Some(e) = self.r.probe(self.r.set_of(pc), pc) {
+            return Some(SbbHit {
+                kind: BranchKind::Return,
+                target: None,
+                len: e.len,
+            });
+        }
+        None
+    }
+
+    /// Insert a shadow branch found by the SBD.
+    ///
+    /// Jumps and calls go to the U-SBB, returns to the R-SBB. Eviction
+    /// prefers entries whose retired bit is clear.
+    pub fn insert(&mut self, branch: &ShadowBranch) {
+        match branch.kind {
+            BranchKind::DirectUncond | BranchKind::Call => {
+                let Some(target) = branch.target else {
+                    return; // direct branch without a target cannot help FDIP
+                };
+                let set = self.u.set_of(branch.pc);
+                self.stats.u_inserts += 1;
+                let retired_aware = self.config.retired_aware;
+                let evicted = self.u.insert_with(
+                    set,
+                    branch.pc,
+                    UEntry {
+                        target,
+                        len: branch.len,
+                        is_call: branch.kind == BranchKind::Call,
+                        retired: false,
+                    },
+                    |e| retired_aware && !e.retired,
+                );
+                self.keys.insert(branch.pc);
+                if let Some((tag, old)) = evicted {
+                    if tag != branch.pc {
+                        self.keys.remove(&tag);
+                        if !old.retired {
+                            self.stats.evicted_unretired += 1;
+                        }
+                    }
+                }
+            }
+            BranchKind::Return => {
+                let set = self.r.set_of(branch.pc);
+                self.stats.r_inserts += 1;
+                let retired_aware = self.config.retired_aware;
+                let evicted = self.r.insert_with(
+                    set,
+                    branch.pc,
+                    REntry {
+                        line_offset: branch.line_offset,
+                        len: branch.len,
+                        retired: false,
+                    },
+                    |e| retired_aware && !e.retired,
+                );
+                self.keys.insert(branch.pc);
+                if let Some((tag, old)) = evicted {
+                    if tag != branch.pc {
+                        self.keys.remove(&tag);
+                        if !old.retired {
+                            self.stats.evicted_unretired += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                debug_assert!(false, "SBD must only produce SBB-eligible branches");
+            }
+        }
+    }
+
+    /// Mark the entry at `pc` retired (called when a branch whose prediction
+    /// the SBB supplied commits, §4.3).
+    pub fn mark_retired(&mut self, pc: u64) {
+        let uset = self.u.set_of(pc);
+        if let Some(e) = self.u.peek_mut(uset, pc) {
+            if !e.retired {
+                e.retired = true;
+                self.stats.retirements += 1;
+            }
+            return;
+        }
+        let rset = self.r.set_of(pc);
+        if let Some(e) = self.r.peek_mut(rset, pc) {
+            let _ = e.line_offset;
+            if !e.retired {
+                e.retired = true;
+                self.stats.retirements += 1;
+            }
+        }
+    }
+
+    /// Remove the entry at `pc` (on promotion into the BTB, so the SBB slot
+    /// can hold a different shadow branch).
+    pub fn invalidate(&mut self, pc: u64) {
+        let uset = self.u.set_of(pc);
+        if self.u.invalidate(uset, pc).is_some() {
+            self.keys.remove(&pc);
+            return;
+        }
+        let rset = self.r.set_of(pc);
+        if self.r.invalidate(rset, pc).is_some() {
+            self.keys.remove(&pc);
+        }
+    }
+
+    /// `(U-SBB valid, R-SBB valid)` entry counts.
+    #[must_use]
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.u.len(), self.r.len())
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> SbbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb(pc: u64, kind: BranchKind, target: Option<u64>) -> ShadowBranch {
+        ShadowBranch {
+            pc,
+            len: if kind == BranchKind::Return { 1 } else { 5 },
+            kind,
+            target,
+            line_offset: (pc % 64) as u8,
+        }
+    }
+
+    #[test]
+    fn paper_sizing() {
+        let c = SbbConfig::default();
+        // 768×78 bits = 7.3125 KB exactly; 2024×20 bits = 4.9414 KB, which
+        // the paper rounds to 4.9375 KB. Total ≈ 12.25 KB.
+        assert!((c.storage_kb() - 12.25).abs() < 0.01, "{}", c.storage_kb());
+        let u_kb = (c.u_entries * USBB_ENTRY_BITS) as f64 / 8.0 / 1024.0;
+        let r_kb = (c.r_entries * RSBB_ENTRY_BITS) as f64 / 8.0 / 1024.0;
+        assert!((u_kb - 7.3125).abs() < 1e-9);
+        assert!((r_kb - 4.9375).abs() < 0.01);
+    }
+
+    #[test]
+    fn jumps_and_returns_route_to_their_halves() {
+        let mut s = Sbb::new(SbbConfig::default());
+        s.insert(&sb(0x100, BranchKind::DirectUncond, Some(0x900)));
+        s.insert(&sb(0x200, BranchKind::Call, Some(0xA00)));
+        s.insert(&sb(0x300, BranchKind::Return, None));
+        assert_eq!(s.occupancy(), (2, 1));
+
+        let j = s.lookup(0x100).unwrap();
+        assert_eq!(j.kind, BranchKind::DirectUncond);
+        assert_eq!(j.target, Some(0x900));
+        let c = s.lookup(0x200).unwrap();
+        assert_eq!(c.kind, BranchKind::Call);
+        let r = s.lookup(0x300).unwrap();
+        assert_eq!(r.kind, BranchKind::Return);
+        assert_eq!(r.target, None);
+        assert!(s.lookup(0x400).is_none());
+        let st = s.stats();
+        assert_eq!(st.u_hits, 2);
+        assert_eq!(st.r_hits, 1);
+        assert_eq!(st.lookups, 4);
+    }
+
+    #[test]
+    fn retired_entries_survive_pressure() {
+        // 1 set × 4 ways U-SBB.
+        let mut s = Sbb::new(SbbConfig {
+            u_entries: 4,
+            r_entries: 4,
+            ways: 4,
+            retired_aware: true,
+        });
+        for pc in [0x10u64, 0x20, 0x30, 0x40] {
+            s.insert(&sb(pc, BranchKind::DirectUncond, Some(pc + 1)));
+        }
+        s.mark_retired(0x10);
+        // Three more inserts evict the three unretired entries, not 0x10.
+        for pc in [0x50u64, 0x60, 0x70] {
+            s.insert(&sb(pc, BranchKind::DirectUncond, Some(pc + 1)));
+        }
+        assert!(s.probe(0x10).is_some(), "retired entry must survive");
+        assert_eq!(s.stats().evicted_unretired, 3);
+    }
+
+    #[test]
+    fn retirement_counts_once() {
+        let mut s = Sbb::new(SbbConfig::default());
+        s.insert(&sb(0x100, BranchKind::Return, None));
+        s.mark_retired(0x100);
+        s.mark_retired(0x100);
+        assert_eq!(s.stats().retirements, 1);
+    }
+
+    #[test]
+    fn invalidate_frees_the_slot() {
+        let mut s = Sbb::new(SbbConfig::default());
+        s.insert(&sb(0x100, BranchKind::Call, Some(0x1)));
+        s.invalidate(0x100);
+        assert!(s.probe(0x100).is_none());
+        assert_eq!(s.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn direct_branch_without_target_is_not_inserted() {
+        let mut s = Sbb::new(SbbConfig::default());
+        s.insert(&sb(0x100, BranchKind::DirectUncond, None));
+        assert_eq!(s.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn budget_split_arithmetic() {
+        let c = SbbConfig::with_budget(12.25, 7.3125 / 12.25, 4);
+        // Should land on (almost exactly) the paper's split.
+        assert_eq!(c.u_entries, 768);
+        assert_eq!(c.r_entries, 2024);
+        assert!((c.storage_kb() - 12.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let c = SbbConfig::default().scaled(2.0);
+        assert_eq!(c.u_entries, 1536);
+        assert_eq!(c.r_entries, 4048);
+        let half = SbbConfig::default().scaled(0.5);
+        assert_eq!(half.u_entries, 384);
+        assert_eq!(half.r_entries, 1012);
+    }
+}

@@ -1,0 +1,115 @@
+//! Ablation table: the design choices DESIGN.md calls out, measured at
+//! full experiment scale on a representative subset of benchmarks.
+//! (The Criterion `ablations` bench measures the same knobs at small scale
+//! with timing; this binary prints the metric table.)
+
+use skia_core::{IndexPolicy, SbbConfig, SkiaConfig};
+use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_frontend::FrontendConfig;
+
+const BENCHES: [&str; 5] = ["tpcc", "voter", "kafka", "dotty", "ycsb"];
+
+fn measure(skia: SkiaConfig, steps: usize) -> (f64, f64, f64) {
+    let mut speedups = Vec::new();
+    let mut rescues = 0u64;
+    let mut bogus = 0u64;
+    let mut insns = 0u64;
+    for name in BENCHES {
+        let w = Workload::by_name(name);
+        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let s = w.run(
+            FrontendConfig::alder_lake_like()
+                .with_btb_entries(8192)
+                .with_skia(skia),
+            steps,
+        );
+        speedups.push(s.speedup_over(&base));
+        rescues += s.sbb_rescues;
+        insns += s.instructions;
+        if let Some(sk) = &s.skia {
+            bogus += sk.bogus_uses;
+        }
+    }
+    (
+        (geomean(speedups) - 1.0) * 100.0,
+        rescues as f64 * 1000.0 / insns as f64,
+        bogus as f64 * 1000.0 / insns as f64,
+    )
+}
+
+fn print_row(name: &str, skia: SkiaConfig, steps: usize) {
+    let (speedup, rescues, bogus) = measure(skia, steps);
+    row(&[
+        name.to_string(),
+        format!("{speedup:+.2}%"),
+        format!("{rescues:.2}"),
+        format!("{bogus:.3}"),
+    ]);
+}
+
+fn main() {
+    let steps = steps_from_env();
+
+    println!("# Ablations (geomean over {:?})\n", BENCHES);
+    row(&[
+        "configuration".into(),
+        "speedup".into(),
+        "rescues/KI".into(),
+        "bogus-uses/KI".into(),
+    ]);
+    row(&vec!["---".to_string(); 4]);
+
+    print_row("default (merge, ≤6 families, retired-LRU)", SkiaConfig::default(), steps);
+    for policy in IndexPolicy::ALL {
+        print_row(
+            &format!("index policy = {}", policy.label()),
+            SkiaConfig {
+                index_policy: policy,
+                ..SkiaConfig::default()
+            },
+            steps,
+        );
+    }
+    for bound in [1usize, 2, 8] {
+        print_row(
+            &format!("max valid families = {bound}"),
+            SkiaConfig {
+                max_valid_paths: bound,
+                ..SkiaConfig::default()
+            },
+            steps,
+        );
+    }
+    print_row(
+        "plain LRU (no retired bit)",
+        SkiaConfig {
+            retired_bit_replacement: false,
+            ..SkiaConfig::default()
+        },
+        steps,
+    );
+    print_row(
+        "filter BTB-resident inserts",
+        SkiaConfig {
+            filter_btb_resident: true,
+            ..SkiaConfig::default()
+        },
+        steps,
+    );
+    print_row(
+        "all-U split (~12.25KB)",
+        SkiaConfig {
+            sbb: SbbConfig::with_budget(12.25, 0.97, 4),
+            ..SkiaConfig::default()
+        },
+        steps,
+    );
+    print_row(
+        "all-R split (~12.25KB)",
+        SkiaConfig {
+            sbb: SbbConfig::with_budget(12.25, 0.03, 4),
+            ..SkiaConfig::default()
+        },
+        steps,
+    );
+}

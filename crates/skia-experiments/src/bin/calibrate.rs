@@ -1,0 +1,102 @@
+//! Calibration probe: per-benchmark headline metrics under the baseline and
+//! Skia configurations. Not a paper figure — a development tool to check
+//! that the synthetic workloads land in the paper's qualitative regime
+//! (L1-I MPKI > 10, high BTB miss L1-I residency, Skia speedups).
+
+use skia_experiments::{steps_from_env, StandingConfig, Workload};
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+    let names: Vec<&str> = std::env::args()
+        .skip(1)
+        .map(|s| &*s.leak())
+        .collect::<Vec<_>>();
+    let names = if names.is_empty() {
+        PAPER_BENCHMARKS.to_vec()
+    } else {
+        names
+    };
+
+    println!(
+        "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "bench", "ipc", "ipcSkia", "speedup", "l1iMPKI", "btbMPKI", "l1iRes%", "rescues/KI", "bogus", "condMPKI"
+    );
+    for name in names {
+        let w = Workload::by_name(name);
+        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let mut skia_cfg = skia_core::SkiaConfig::default();
+        if let Ok(p) = std::env::var("SKIA_POLICY") {
+            skia_cfg.index_policy = match p.as_str() {
+                "zero" => skia_core::IndexPolicy::Zero,
+                "merge" => skia_core::IndexPolicy::Merge,
+                _ => skia_core::IndexPolicy::First,
+            };
+        }
+        let skia = w.run(
+            skia_frontend::FrontendConfig::alder_lake_like()
+                .with_btb_entries(8192)
+                .with_skia(skia_cfg),
+            steps,
+        );
+        let sk = skia.skia.as_ref().expect("skia stats");
+        println!(
+            "{:<16} {:>7.3} {:>8.3} {:>7.2}% {:>7.1} {:>8.2} {:>7.1}% {:>9.2} {:>8} {:>8.2}",
+            name,
+            base.ipc(),
+            skia.ipc(),
+            (skia.speedup_over(&base) - 1.0) * 100.0,
+            base.l1i_mpki(),
+            base.btb_mpki(),
+            base.btb_miss_l1i_resident_fraction() * 100.0,
+            skia.sbb_rescues as f64 * 1000.0 / skia.instructions as f64,
+            sk.bogus_uses,
+            base.cond_mpki(),
+        );
+        if std::env::var("SKIA_VERBOSE").is_ok() {
+            println!(
+                "    sbd: headReg={} headValid={} headDisc={} headBr={} tailReg={} tailBr={}",
+                sk.sbd.head_regions,
+                sk.sbd.head_regions_valid,
+                sk.sbd.head_regions_discarded,
+                sk.sbd.head_branches,
+                sk.sbd.tail_regions,
+                sk.sbd.tail_branches
+            );
+            println!(
+                "    sbb: uIns={} rIns={} uHits={} rHits={} filtered={} | miss breakdown: {:?}",
+                sk.sbb.u_inserts,
+                sk.sbb.r_inserts,
+                sk.sbb.u_hits,
+                sk.sbb.r_hits,
+                sk.filtered_known,
+                base.btb_misses_by_kind
+            );
+            println!(
+                "    resteers: dec={} exec={} bogus={} | missTaken={} rescuable={} wrongPathBlocks={}",
+                base.decode_resteers,
+                base.exec_resteers,
+                base.bogus_resteers,
+                base.btb_miss_taken,
+                base.btb_miss_rescuable,
+                base.wrong_path_blocks
+            );
+            // Rescue ceiling: a 100× SBB shows whether the limit is SBB
+            // capacity or shadow-decode opportunity.
+            let mut huge = skia_core::SkiaConfig::default();
+            huge.sbb = huge.sbb.scaled(100.0);
+            let ceiling = w.run(
+                skia_frontend::FrontendConfig::alder_lake_like()
+                    .with_btb_entries(8192)
+                    .with_skia(huge),
+                steps,
+            );
+            println!(
+                "    ceiling: rescues/KI={:.2} (rescuable/KI={:.2}, seenBefore/KI={:.2})",
+                ceiling.sbb_rescues as f64 * 1000.0 / ceiling.instructions as f64,
+                ceiling.btb_miss_rescuable as f64 * 1000.0 / ceiling.instructions as f64,
+                ceiling.rescuable_seen_before as f64 * 1000.0 / ceiling.instructions as f64,
+            );
+        }
+    }
+}

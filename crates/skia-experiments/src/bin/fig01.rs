@@ -1,0 +1,43 @@
+//! Figure 1: average BTB miss MPKI across the 16 workloads, and the portion
+//! of those misses whose cache line is already L1-I-resident, for BTB sizes
+//! 1K–16K entries.
+//!
+//! Paper's headline observation: at 8K entries ~75% of BTB misses are
+//! resident in the L1-I.
+
+use skia_experiments::{f2, pct, row, steps_from_env, StandingConfig, Workload};
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+    let sizes = [1024usize, 2048, 4096, 8192, 16384];
+
+    println!("# Figure 1: BTB MPKI and L1-I-resident fraction vs BTB size\n");
+    row(&[
+        "BTB entries".into(),
+        "BTB MPKI (avg)".into(),
+        "L1-I-resident MPKI (avg)".into(),
+        "resident fraction".into(),
+    ]);
+    row(&["---".into(), "---".into(), "---".into(), "---".into()]);
+
+    for entries in sizes {
+        let mut mpki_sum = 0.0;
+        let mut res_sum = 0.0;
+        for name in PAPER_BENCHMARKS {
+            let w = Workload::by_name(name);
+            let stats = w.run(StandingConfig::Btb(entries).frontend(), steps);
+            mpki_sum += stats.btb_mpki();
+            res_sum += stats.btb_miss_l1i_resident_mpki();
+        }
+        let n = PAPER_BENCHMARKS.len() as f64;
+        let mpki = mpki_sum / n;
+        let res = res_sum / n;
+        row(&[
+            format!("{entries}"),
+            f2(mpki),
+            f2(res),
+            pct(if mpki > 0.0 { res / mpki } else { 0.0 }),
+        ]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 3: geomean speedup (relative to a 4K-entry BTB) across BTB sizes
+//! for four configurations: plain BTB, BTB+12.25KB, BTB+SBB (Skia), and an
+//! infinite fully-associative BTB.
+//!
+//! Paper's shape: Skia beats spending the same 12.25 KB on BTB entries at
+//! every size until saturation near the infinite-BTB ceiling.
+
+use skia_experiments::{f2, geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_frontend::SimStats;
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+    let sizes = [4096usize, 8192, 16384, 32768];
+
+    // Reference: 4K-entry plain BTB per benchmark.
+    let workloads: Vec<Workload> = PAPER_BENCHMARKS
+        .iter()
+        .map(|n| Workload::by_name(n))
+        .collect();
+    let reference: Vec<SimStats> = workloads
+        .iter()
+        .map(|w| w.run(StandingConfig::Btb(4096).frontend(), steps))
+        .collect();
+
+    let geo_speedup = |configs: &[SimStats]| -> f64 {
+        geomean(
+            configs
+                .iter()
+                .zip(&reference)
+                .map(|(c, r)| c.speedup_over(r)),
+        )
+    };
+
+    let infinite: Vec<SimStats> = workloads
+        .iter()
+        .map(|w| w.run(StandingConfig::Infinite.frontend(), steps))
+        .collect();
+    let inf_speedup = geo_speedup(&infinite);
+
+    println!("# Figure 3: geomean speedup over 4K-entry BTB\n");
+    row(&[
+        "BTB entries".into(),
+        "BTB".into(),
+        "BTB+12.25KB".into(),
+        "BTB+SBB (Skia)".into(),
+        "Infinite BTB".into(),
+    ]);
+    row(&vec!["---".to_string(); 5]);
+
+    for entries in sizes {
+        let btb: Vec<SimStats> = workloads
+            .iter()
+            .map(|w| w.run(StandingConfig::Btb(entries).frontend(), steps))
+            .collect();
+        let grown: Vec<SimStats> = workloads
+            .iter()
+            .map(|w| w.run(StandingConfig::BtbPlusBudget(entries).frontend(), steps))
+            .collect();
+        let skia: Vec<SimStats> = workloads
+            .iter()
+            .map(|w| w.run(StandingConfig::BtbPlusSkia(entries).frontend(), steps))
+            .collect();
+        row(&[
+            format!("{entries}"),
+            f2(geo_speedup(&btb)),
+            f2(geo_speedup(&grown)),
+            f2(geo_speedup(&skia)),
+            f2(inf_speedup),
+        ]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 6: BTB misses by branch type for the 8K-entry (78 KB) BTB, per
+//! benchmark.
+//!
+//! Paper's shape: indirect branches are a vanishing fraction everywhere;
+//! OLTP workloads (voter, sibench) are call/return heavy; kafka is
+//! conditional-heavy.
+
+use skia_experiments::{row, steps_from_env, StandingConfig, Workload};
+use skia_isa::BranchKind;
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+
+    println!("# Figure 6: BTB misses by type (8K-entry BTB), % of each benchmark's misses\n");
+    let mut header = vec!["benchmark".to_string(), "MPKI".to_string()];
+    header.extend(BranchKind::ALL.iter().map(|k| k.label().to_string()));
+    row(&header);
+    row(&vec!["---".to_string(); header.len()]);
+
+    for name in PAPER_BENCHMARKS {
+        let w = Workload::by_name(name);
+        let stats = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let total = stats.btb_misses.max(1) as f64;
+        let mut cells = vec![name.to_string(), format!("{:.2}", stats.btb_mpki())];
+        for kind in BranchKind::ALL {
+            cells.push(format!(
+                "{:.1}%",
+                stats.btb_misses_of(kind) as f64 * 100.0 / total
+            ));
+        }
+        row(&cells);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 14: per-benchmark IPC gain over the 8K-entry BTB baseline for
+//! head-only, tail-only, and combined shadow decoding; plus the §6.1.4
+//! verilator pre-BOLT comparison and the §3.2.2 bogus-branch rate.
+//!
+//! Paper's shape: geomean ~5.6% combined, tail-only (~4.4%) above head-only
+//! (~3.7%); low-BTB-miss benchmarks (finagle-chirper, kafka,
+//! speedometer2.0) gain least; voter and sibench gain most.
+
+use skia_core::SkiaConfig;
+use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+
+    println!("# Figure 14: IPC gain over 8K-entry (78KB) BTB\n");
+    row(&[
+        "benchmark".into(),
+        "head-only".into(),
+        "tail-only".into(),
+        "head+tail".into(),
+    ]);
+    row(&vec!["---".to_string(); 4]);
+
+    let mut speedups: Vec<[f64; 3]> = Vec::new();
+    let mut bogus_uses = 0u64;
+    let mut inserts = 0u64;
+    let run_variants = |w: &Workload| -> [f64; 3] {
+        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let variants = [
+            SkiaConfig::head_only(),
+            SkiaConfig::tail_only(),
+            SkiaConfig::default(),
+        ];
+        let mut out = [0.0; 3];
+        for (i, v) in variants.into_iter().enumerate() {
+            let s = w.run(
+                skia_frontend::FrontendConfig::alder_lake_like()
+                    .with_btb_entries(8192)
+                    .with_skia(v),
+                steps,
+            );
+            out[i] = s.speedup_over(&base);
+        }
+        out
+    };
+
+    for name in PAPER_BENCHMARKS {
+        let w = Workload::by_name(name);
+        let s = run_variants(&w);
+        // Bogus-rate bookkeeping from the combined run.
+        let combined = w.run(StandingConfig::BtbPlusSkia(8192).frontend(), steps);
+        if let Some(sk) = &combined.skia {
+            bogus_uses += sk.bogus_uses;
+            inserts += sk.sbb.u_inserts + sk.sbb.r_inserts;
+        }
+        speedups.push(s);
+        row(&[
+            name.to_string(),
+            format!("{:+.2}%", (s[0] - 1.0) * 100.0),
+            format!("{:+.2}%", (s[1] - 1.0) * 100.0),
+            format!("{:+.2}%", (s[2] - 1.0) * 100.0),
+        ]);
+    }
+    let geo = |i: usize| (geomean(speedups.iter().map(|s| s[i])) - 1.0) * 100.0;
+    row(&[
+        "**geomean**".into(),
+        format!("{:+.2}%", geo(0)),
+        format!("{:+.2}%", geo(1)),
+        format!("{:+.2}%", geo(2)),
+    ]);
+
+    println!(
+        "\nBogus branches used / SBB insertions: {:.5}% (paper §3.2.2: ~0.0002%)",
+        bogus_uses as f64 * 100.0 / inserts.max(1) as f64
+    );
+
+    // §6.1.4: verilator pre-BOLT vs bolted.
+    println!("\n## §6.1.4: verilator BOLT sensitivity");
+    for name in ["verilator", "verilator_prebolt"] {
+        let w = Workload::by_name(name);
+        let s = run_variants(&w);
+        println!(
+            "{name:<20} combined Skia speedup {:+.2}%",
+            (s[2] - 1.0) * 100.0
+        );
+    }
+}

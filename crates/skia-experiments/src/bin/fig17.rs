@@ -1,0 +1,67 @@
+//! Figure 17 — SBB sensitivity.
+//!
+//! Top: geomean speedup for different U-SBB/R-SBB storage splits at a
+//! constant 12.25 KB total. Bottom: scaling the total SBB budget at the
+//! paper's preferred U:R entry ratio, to find the saturation point.
+
+use skia_core::{SbbConfig, SkiaConfig};
+use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_frontend::FrontendConfig;
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn geo_speedup(sbb: SbbConfig, steps: usize) -> f64 {
+    let mut ratios = Vec::new();
+    for name in PAPER_BENCHMARKS {
+        let w = Workload::by_name(name);
+        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let cfg = FrontendConfig::alder_lake_like()
+            .with_btb_entries(8192)
+            .with_skia(SkiaConfig {
+                sbb,
+                ..SkiaConfig::default()
+            });
+        let s = w.run(cfg, steps);
+        ratios.push(s.speedup_over(&base));
+    }
+    (geomean(ratios) - 1.0) * 100.0
+}
+
+fn main() {
+    let steps = steps_from_env();
+
+    println!("# Figure 17 (top): U-SBB/R-SBB split at constant 12.25 KB\n");
+    row(&[
+        "U-SBB share".into(),
+        "U entries".into(),
+        "R entries".into(),
+        "geomean speedup".into(),
+    ]);
+    row(&vec!["---".to_string(); 4]);
+    for share in [0.2, 0.4, 7.3125 / 12.25, 0.8] {
+        let sbb = SbbConfig::with_budget(12.25, share, 4);
+        let s = geo_speedup(sbb, steps);
+        row(&[
+            format!("{:.0}%", share * 100.0),
+            format!("{}", sbb.u_entries),
+            format!("{}", sbb.r_entries),
+            format!("{s:+.2}%"),
+        ]);
+    }
+
+    println!("\n# Figure 17 (bottom): total budget at constant U:R entry ratio\n");
+    row(&[
+        "scale".into(),
+        "storage KB".into(),
+        "geomean speedup".into(),
+    ]);
+    row(&vec!["---".to_string(); 3]);
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let sbb = SbbConfig::default().scaled(factor);
+        let s = geo_speedup(sbb, steps);
+        row(&[
+            format!("{factor}x"),
+            format!("{:.2}", sbb.storage_kb()),
+            format!("{s:+.2}%"),
+        ]);
+    }
+}

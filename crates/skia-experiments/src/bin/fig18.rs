@@ -1,0 +1,35 @@
+//! Figure 18: reduction in decoder idle cycles with Skia, per benchmark
+//! (8K-entry BTB).
+//!
+//! Paper's shape: voter and sibench show the largest reductions thanks to
+//! their high direct-call/return frequency (§6.3).
+
+use skia_experiments::{row, steps_from_env, StandingConfig, Workload};
+use skia_workloads::profiles::PAPER_BENCHMARKS;
+
+fn main() {
+    let steps = steps_from_env();
+
+    println!("# Figure 18: decoder idle-cycle reduction with Skia (8K BTB)\n");
+    row(&[
+        "benchmark".into(),
+        "idle/KI baseline".into(),
+        "idle/KI Skia".into(),
+        "reduction".into(),
+    ]);
+    row(&vec!["---".to_string(); 4]);
+
+    for name in PAPER_BENCHMARKS {
+        let w = Workload::by_name(name);
+        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let skia = w.run(StandingConfig::BtbPlusSkia(8192).frontend(), steps);
+        let b = base.decoder_idle_cycles() as f64 * 1000.0 / base.instructions as f64;
+        let s = skia.decoder_idle_cycles() as f64 * 1000.0 / skia.instructions as f64;
+        row(&[
+            name.to_string(),
+            format!("{b:.1}"),
+            format!("{s:.1}"),
+            format!("{:+.2}%", (1.0 - s / b.max(1e-9)) * 100.0),
+        ]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 1: the simulated processor configuration, printed from the live
+//! configuration objects (so the table cannot drift from the code).
+
+use skia_core::SkiaConfig;
+use skia_experiments::row;
+use skia_frontend::{BtbMode, FrontendConfig};
+
+fn main() {
+    let c = FrontendConfig::alder_lake_like();
+    let skia = SkiaConfig::default();
+
+    println!("# Table 1: processor configuration (Alder-Lake/Golden-Cove-like)\n");
+    row(&["Field / Model".into(), "Value".into()]);
+    row(&["---".into(), "---".into()]);
+    row(&["ISA".into(), "x86-64 subset (skia-isa)".into()]);
+    let h = c.hierarchy;
+    row(&[
+        "Private L1-I Cache".into(),
+        format!(
+            "{}KB ({}-way, {}B)",
+            h.l1i.size_bytes / 1024,
+            h.l1i.ways,
+            h.l1i.line_bytes
+        ),
+    ]);
+    row(&[
+        "Private L2 Cache".into(),
+        format!("{}KB ({}-way, {}B)", h.l2.size_bytes / 1024, h.l2.ways, h.l2.line_bytes),
+    ]);
+    row(&[
+        "Shared L3 Cache".into(),
+        format!("{}KB ({}-way, {}B)", h.l3.size_bytes / 1024, h.l3.ways, h.l3.line_bytes),
+    ]);
+    row(&[
+        "Branch Predictor".into(),
+        format!("TAGE-class ({:.1}KB) + ITTAGE", c.tage.storage_kb()),
+    ]);
+    match c.btb {
+        BtbMode::Finite(b) => row(&[
+            "BTB Size".into(),
+            format!("{}-entry / {:.0}KB ({}-way)", b.entries, b.storage_kb(), b.ways),
+        ]),
+        BtbMode::Infinite => row(&["BTB Size".into(), "infinite".into()]),
+    }
+    row(&[
+        "U-SBB Size".into(),
+        format!(
+            "{:.4}KB ({} entries, {}-way)",
+            skia.sbb.u_entries as f64 * 78.0 / 8.0 / 1024.0,
+            skia.sbb.u_entries,
+            skia.sbb.ways
+        ),
+    ]);
+    row(&[
+        "R-SBB Size".into(),
+        format!(
+            "{:.4}KB ({} entries, {}-way)",
+            skia.sbb.r_entries as f64 * 20.0 / 8.0 / 1024.0,
+            skia.sbb.r_entries,
+            skia.sbb.ways
+        ),
+    ]);
+    row(&["FTQ".into(), format!("{} entries", c.ftq_depth)]);
+    row(&[
+        "Decode / Retire".into(),
+        format!("{} / {} wide", c.decode_width, c.retire_width),
+    ]);
+    row(&[
+        "Resteer penalties".into(),
+        format!(
+            "decode-detect +1, execute-detect +{}, repair {}",
+            c.exec_detect, c.decode_repair
+        ),
+    ]);
+}

@@ -1,0 +1,33 @@
+//! Table 2: the benchmark suite, with the generated-programs' footprints.
+
+use skia_experiments::row;
+use skia_workloads::profiles::{profile, PAPER_BENCHMARKS};
+use skia_workloads::Program;
+
+fn main() {
+    println!("# Table 2: benchmarks (synthetic profiles standing in for the paper's suite)\n");
+    row(&[
+        "benchmark".into(),
+        "suite".into(),
+        "functions".into(),
+        "code KB".into(),
+        "static branches".into(),
+        "layout".into(),
+    ]);
+    row(&vec!["---".to_string(); 6]);
+
+    let mut names: Vec<&str> = PAPER_BENCHMARKS.to_vec();
+    names.push("verilator_prebolt");
+    for name in names {
+        let p = profile(name).expect("known benchmark");
+        let prog = Program::generate(&p.spec);
+        row(&[
+            p.name.to_string(),
+            p.suite.to_string(),
+            format!("{}", p.spec.functions),
+            format!("{}", prog.code_bytes() / 1024),
+            format!("{}", prog.branch_count()),
+            format!("{:?}", p.spec.layout),
+        ]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared harness for the per-figure experiment binaries.
+//!
+//! Each binary regenerates one table or figure of *"Exposing Shadow
+//! Branches"* by sweeping simulator configurations over the 16 benchmark
+//! profiles and printing the paper's rows/series. This crate holds the
+//! common machinery: workload caching, configuration construction, and
+//! report formatting.
+
+use skia_core::SkiaConfig;
+use skia_frontend::{FrontendConfig, SimStats, Simulator};
+use skia_workloads::{profile, Profile, Program, Walker};
+
+pub use skia_frontend::stats::geomean;
+
+/// Default trace length (true-path basic blocks) per benchmark run.
+///
+/// One step averages ~7 instructions, so 400K steps ≈ 2.8M instructions —
+/// enough for MPKIs and IPC ratios to stabilize on these synthetic
+/// workloads (the paper warms 10M and measures 100M on real ones).
+pub const DEFAULT_STEPS: usize = 400_000;
+
+/// Resolve the step budget: `SKIA_STEPS` env var overrides the default so
+/// quick sanity runs and long calibration runs use the same binaries.
+#[must_use]
+pub fn steps_from_env() -> usize {
+    std::env::var("SKIA_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_STEPS)
+}
+
+/// A materialized benchmark: profile + generated program.
+pub struct Workload {
+    /// The profile this workload was built from.
+    pub profile: Profile,
+    /// The generated program image.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Build a named benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the paper's benchmarks (or
+    /// `verilator_prebolt`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Workload {
+        let profile = profile(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let program = Program::generate(&profile.spec);
+        Workload { profile, program }
+    }
+
+    /// Run one simulation over this workload.
+    #[must_use]
+    pub fn run(&self, config: FrontendConfig, steps: usize) -> SimStats {
+        let trace = Walker::new(
+            &self.program,
+            self.profile.trace_seed,
+            self.profile.spec.mean_trip_count,
+        )
+        .take(steps);
+        let mut sim = Simulator::new(&self.program, config);
+        sim.run(trace)
+    }
+}
+
+/// The four standing configurations of Fig. 3 / Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandingConfig {
+    /// Plain BTB of the given entry count.
+    Btb(usize),
+    /// BTB grown by the SBB's 12.25 KB storage budget.
+    BtbPlusBudget(usize),
+    /// BTB plus the default Skia SBB.
+    BtbPlusSkia(usize),
+    /// Infinite fully-associative BTB.
+    Infinite,
+}
+
+impl StandingConfig {
+    /// Materialize the frontend configuration.
+    #[must_use]
+    pub fn frontend(self) -> FrontendConfig {
+        match self {
+            StandingConfig::Btb(entries) => {
+                FrontendConfig::alder_lake_like().with_btb_entries(entries)
+            }
+            StandingConfig::BtbPlusBudget(entries) => {
+                let extra = skia_uarch::btb::BtbConfig::entries_for_budget_kb(12.25, 4);
+                FrontendConfig::alder_lake_like().with_btb_entries(entries + extra)
+            }
+            StandingConfig::BtbPlusSkia(entries) => FrontendConfig::alder_lake_like()
+                .with_btb_entries(entries)
+                .with_skia(SkiaConfig::default()),
+            StandingConfig::Infinite => FrontendConfig {
+                btb: skia_frontend::BtbMode::Infinite,
+                ..FrontendConfig::alder_lake_like()
+            },
+        }
+    }
+}
+
+/// Print a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a float with 2 decimals.
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 2 decimals.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}

@@ -1,0 +1,478 @@
+//! The lockstep trace-replay simulator.
+//!
+//! Each true-path [`TraceStep`] (one executed basic block) is verified
+//! against the blocks the BPU forms. The cycle ledger charges: one block per
+//! cycle of IAG bandwidth, FTQ occupancy back-pressure, FDIP prefetch
+//! latency, decode throughput, and resteer bubbles (decode-detected early
+//! resteers vs. execute-detected late resteers, §2.6). On every resteer the
+//! wrong-path blocks the IAG would have formed in the detection shadow are
+//! actually formed and their lines actually prefetched, so L1-I pollution by
+//! wrong-path FDIP traffic is mechanistic.
+
+use std::collections::VecDeque;
+
+use skia_isa::BranchKind;
+use skia_uarch::cache::Hierarchy;
+use skia_workloads::{Program, TraceStep};
+
+use crate::bpu::{Bpu, PredictedBlock};
+use crate::config::FrontendConfig;
+use crate::stats::{ResteerCause, ResteerStage, SimStats};
+
+/// Average x86 instruction length assumed when estimating decode occupancy
+/// of a byte range (retirement counts are exact; this only shapes decode
+/// throughput).
+const AVG_INSN_BYTES: u64 = 4;
+
+/// A formed block plus its timing and pre-fetch L1-I residency snapshot.
+#[derive(Debug, Clone)]
+struct InFlight {
+    block: PredictedBlock,
+    iag_cycle: u64,
+    decode_start: u64,
+    /// (line address, was L1-I resident before this block's prefetches).
+    lines: Vec<(u64, bool)>,
+}
+
+/// The front-end simulator.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    config: FrontendConfig,
+    bpu: Bpu,
+    hier: Hierarchy,
+    stats: SimStats,
+    iag_cycle: u64,
+    decode_free: u64,
+    /// Decode-completion times of in-flight FTQ entries.
+    ftq: VecDeque<u64>,
+    ftq_occupancy_sum: u64,
+    ftq_samples: u64,
+    pending: Option<InFlight>,
+    /// Fill-completion cycle of the most recent `prefetch_lines` call.
+    last_fill_done: u64,
+}
+
+impl<'p> Simulator<'p> {
+    /// Build a simulator over `program` with the given configuration. The
+    /// BPU starts at the program's dispatcher entry.
+    #[must_use]
+    pub fn new(program: &'p Program, config: FrontendConfig) -> Self {
+        let start = program.functions()[0].entry;
+        Simulator {
+            bpu: Bpu::new(&config, start),
+            hier: Hierarchy::new(config.hierarchy),
+            program,
+            config,
+            stats: SimStats::default(),
+            iag_cycle: 0,
+            decode_free: 0,
+            ftq: VecDeque::new(),
+            ftq_occupancy_sum: 0,
+            ftq_samples: 0,
+            pending: None,
+            last_fill_done: 0,
+        }
+    }
+
+    /// Replay a trace to completion and return the statistics.
+    pub fn run(&mut self, trace: impl Iterator<Item = TraceStep>) -> SimStats {
+        for step in trace {
+            self.stats.branches += 1;
+            self.stats.instructions += u64::from(step.insns);
+            if step.taken {
+                self.stats.taken_branches += 1;
+            }
+            self.verify_step(&step);
+        }
+        self.finalize()
+    }
+
+    fn finalize(&mut self) -> SimStats {
+        let retire_floor =
+            self.stats.instructions.div_ceil(u64::from(self.config.retire_width));
+        self.stats.cycles =
+            self.decode_free.max(retire_floor) + u64::from(self.config.backend_depth);
+        self.stats.l1i = self.hier.l1i_stats();
+        self.stats.l2 = self.hier.l2_stats();
+        self.stats.l3 = self.hier.l3_stats();
+        self.stats.skia = self.bpu.skia.as_ref().map(|s| s.stats());
+        self.stats.mean_ftq_occupancy = if self.ftq_samples == 0 {
+            0.0
+        } else {
+            self.ftq_occupancy_sum as f64 / self.ftq_samples as f64
+        };
+        self.stats.clone()
+    }
+
+    // -- block formation & timing ------------------------------------------
+
+    fn form_block(&mut self) -> InFlight {
+        // Retire FTQ entries whose decode has completed by now.
+        while self.ftq.front().is_some_and(|&t| t <= self.iag_cycle) {
+            self.ftq.pop_front();
+        }
+        // Back-pressure: a full FTQ stalls the IAG until the head drains.
+        if self.ftq.len() >= self.config.ftq_depth {
+            let head = self.ftq.pop_front().expect("non-empty");
+            self.iag_cycle = self.iag_cycle.max(head);
+        }
+        self.iag_cycle += 1;
+        self.ftq_occupancy_sum += self.ftq.len() as u64;
+        self.ftq_samples += 1;
+
+        let block = self.bpu.predict_block();
+        self.issue_block(block)
+    }
+
+    /// Prefetch a block's lines, charge decode timing, run shadow decoding.
+    fn issue_block(&mut self, block: PredictedBlock) -> InFlight {
+        let lines = self.prefetch_lines(&block);
+        let fill_done = self.last_fill_done;
+        let frontier = (self.iag_cycle + u64::from(self.config.fetch_to_decode))
+            .max(self.decode_free);
+        if frontier > self.decode_free {
+            self.stats.idle_resteer_cycles += frontier - self.decode_free;
+        }
+        let decode_start = frontier.max(fill_done);
+        if decode_start > frontier {
+            self.stats.idle_icache_cycles += decode_start - frontier;
+        }
+        let bytes = block.end.saturating_sub(block.start).max(1);
+        let decode_cycles =
+            bytes.div_ceil(u64::from(self.config.decode_width) * AVG_INSN_BYTES).max(1);
+        self.stats.decode_busy_cycles += decode_cycles;
+        self.decode_free = decode_start + decode_cycles;
+        self.ftq.push_back(self.decode_free);
+
+        // Shadow decoding runs off the critical path once lines are present.
+        self.bpu.shadow_decode(self.program, &block);
+
+        InFlight {
+            block,
+            iag_cycle: self.iag_cycle,
+            decode_start,
+            lines,
+        }
+    }
+
+    /// Issue the FDIP prefetches for a block's line range. Returns the
+    /// per-line pre-fetch L1-I residency and records the fill-completion
+    /// cycle in `last_fill_done`.
+    fn prefetch_lines(&mut self, block: &PredictedBlock) -> Vec<(u64, bool)> {
+        let first = block.start & !63;
+        let last = block.end.saturating_sub(1).max(block.start) & !63;
+        let mut lines = Vec::with_capacity(2);
+        let mut max_latency = 0u32;
+        let mut la = first;
+        loop {
+            let resident = self.hier.l1i_contains(la);
+            let lat = self.hier.fetch_line(la, true);
+            max_latency = max_latency.max(lat);
+            lines.push((la, resident));
+            if la >= last {
+                break;
+            }
+            la += 64;
+        }
+        self.last_fill_done = self.iag_cycle + u64::from(max_latency);
+        lines
+    }
+
+    // -- verification -------------------------------------------------------
+
+    fn verify_step(&mut self, step: &TraceStep) {
+        loop {
+            let pending = match self.pending.take() {
+                Some(p) => p,
+                None => self.form_block(),
+            };
+            let branch = pending.block.branch.clone();
+            match branch {
+                None => {
+                    if step.branch_pc >= pending.block.end {
+                        // Sequential block fully consumed before the branch.
+                        continue;
+                    }
+                    // A branch the BPU did not know about sits in this block.
+                    self.count_btb_miss(step, &pending);
+                    if step.taken {
+                        self.resteer_missed_taken(step, pending);
+                    } else {
+                        self.commit_unpredicted(step);
+                        if step.block_end() < pending.block.end {
+                            self.pending = Some(pending);
+                        }
+                    }
+                    return;
+                }
+                Some(b) => {
+                    if b.pc > step.branch_pc {
+                        // True branch comes first and the BPU missed it.
+                        self.count_btb_miss(step, &pending);
+                        if step.taken {
+                            self.resteer_missed_taken(step, pending);
+                        } else {
+                            self.commit_unpredicted(step);
+                            self.pending = Some(pending);
+                        }
+                        return;
+                    }
+                    if b.pc < step.branch_pc {
+                        // A predicted branch where the true path has none:
+                        // a bogus shadow branch (§3.4). Real-BTB entries
+                        // cannot land mid-path in a static program.
+                        debug_assert!(b.from_sbb, "only the SBB can be bogus here");
+                        self.resteer_bogus(&pending, b.pc);
+                        continue; // retry the same true step
+                    }
+                    // Aligned: predicted branch is the true branch.
+                    if b.from_sbb {
+                        self.count_btb_miss(step, &pending);
+                    }
+                    let target_ok = !step.taken || b.target == step.next_pc;
+                    let correct = b.taken == step.taken && target_ok;
+                    self.commit_aligned(step, &b);
+                    if correct {
+                        if b.from_sbb {
+                            self.stats.sbb_rescues += 1;
+                        }
+                        return;
+                    }
+                    // Wrong direction or wrong target: late resteer.
+                    let cause = if b.taken != step.taken {
+                        ResteerCause::Direction
+                    } else {
+                        ResteerCause::Target
+                    };
+                    match step.kind {
+                        BranchKind::DirectCond => self.stats.cond_mispredicts += 1,
+                        BranchKind::Return => self.stats.return_mispredicts += 1,
+                        BranchKind::IndirectJmp | BranchKind::IndirectCall => {
+                            self.stats.indirect_mispredicts += 1;
+                        }
+                        _ => {}
+                    }
+                    self.do_resteer(
+                        &pending,
+                        ResteerStage::Execute,
+                        cause,
+                        step.next_pc,
+                        step.taken,
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- commit paths --------------------------------------------------------
+
+    fn static_target(&self, pc: u64) -> Option<u64> {
+        self.program.branch_at(pc).and_then(|m| m.target)
+    }
+
+    fn kind_counters(&mut self, kind: BranchKind) {
+        match kind {
+            BranchKind::DirectCond => self.stats.cond_branches += 1,
+            BranchKind::IndirectJmp | BranchKind::IndirectCall => {
+                self.stats.indirect_branches += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Commit a branch the BPU never predicted (BTB+SBB miss).
+    fn commit_unpredicted(&mut self, step: &TraceStep) {
+        self.kind_counters(step.kind);
+        let st = self.static_target(step.branch_pc);
+        self.bpu.commit_branch(
+            step.branch_pc,
+            step.kind,
+            step.taken,
+            step.next_pc,
+            st,
+            step.branch_len,
+            None,
+        );
+    }
+
+    /// Commit a branch that was predicted at the right PC.
+    fn commit_aligned(&mut self, step: &TraceStep, b: &crate::bpu::PredictedBranch) {
+        self.kind_counters(step.kind);
+        let st = self.static_target(step.branch_pc);
+        self.bpu.commit_branch(
+            step.branch_pc,
+            step.kind,
+            step.taken,
+            step.next_pc,
+            st,
+            step.branch_len,
+            Some(b),
+        );
+    }
+
+    // -- miss/resteer machinery ----------------------------------------------
+
+    fn count_btb_miss(&mut self, step: &TraceStep, pending: &InFlight) {
+        // Only count misses where the branch genuinely was not in the BTB at
+        // prediction time (SBB-supplied predictions count: the BTB missed).
+        if self.bpu.btb_resident(step.branch_pc) {
+            return;
+        }
+        self.stats.btb_misses += 1;
+        let idx = BranchKind::ALL
+            .iter()
+            .position(|&k| k == step.kind)
+            .expect("kind in table");
+        self.stats.btb_misses_by_kind[idx] += 1;
+        if step.taken {
+            self.stats.btb_miss_taken += 1;
+            if step.kind.sbb_eligible() {
+                self.stats.btb_miss_rescuable += 1;
+                if self
+                    .bpu
+                    .skia
+                    .as_ref()
+                    .is_some_and(|s| s.ever_inserted(step.branch_pc))
+                {
+                    self.stats.rescuable_seen_before += 1;
+                }
+            }
+        }
+        let la = step.branch_pc & !63;
+        let resident_before = pending
+            .lines
+            .iter()
+            .find(|&&(a, _)| a == la)
+            .map_or_else(|| self.hier.l1i_contains(step.branch_pc), |&(_, r)| r);
+        if resident_before {
+            self.stats.btb_miss_l1i_resident += 1;
+        }
+    }
+
+    /// A taken branch the BPU did not know about: classify the detection
+    /// stage, commit, and resteer.
+    fn resteer_missed_taken(&mut self, step: &TraceStep, pending: InFlight) {
+        let stage = match step.kind {
+            // Direct unconditional targets are in the bytes: the decoder
+            // resteers early. This is exactly the class Skia rescues.
+            BranchKind::DirectUncond | BranchKind::Call => ResteerStage::Decode,
+            // The decoder identifies a return; if the RAS top is right the
+            // early resteer lands on the correct path.
+            BranchKind::Return => {
+                if self.bpu.ras_top_is(step.next_pc) {
+                    ResteerStage::Decode
+                } else {
+                    self.stats.return_mispredicts += 1;
+                    ResteerStage::Execute
+                }
+            }
+            // The decoder identifies a conditional; a decode-time late
+            // predict rescues it only if TAGE agrees it is taken.
+            BranchKind::DirectCond => {
+                self.stats.cond_mispredicts += 1;
+                if self.bpu.tage_would_predict(step.branch_pc, true) {
+                    ResteerStage::Decode
+                } else {
+                    ResteerStage::Execute
+                }
+            }
+            // Indirect targets need execution unless ITTAGE already knows.
+            BranchKind::IndirectJmp | BranchKind::IndirectCall => {
+                if self.bpu.ittage_would_predict(step.branch_pc, step.next_pc) {
+                    ResteerStage::Decode
+                } else {
+                    self.stats.indirect_mispredicts += 1;
+                    ResteerStage::Execute
+                }
+            }
+        };
+        // Wrong path first (the shadow between mispredict and detection),
+        // then repair, then commit on the corrected state.
+        self.do_resteer(
+            &pending,
+            stage,
+            ResteerCause::UnknownBranch,
+            step.next_pc,
+            true,
+        );
+        self.commit_unpredicted(step);
+    }
+
+    /// The decoder found no branch where the SBB said there was one.
+    fn resteer_bogus(&mut self, pending: &InFlight, bogus_pc: u64) {
+        self.stats.bogus_resteers += 1;
+        if let Some(skia) = &mut self.bpu.skia {
+            skia.note_bogus(bogus_pc);
+        }
+        // Fetch continues sequentially past the phantom branch. Resuming
+        // strictly after it guarantees forward progress even if wrong-path
+        // shadow decoding re-inserts the same bogus entry (the decoder has
+        // established there is no branch *at* this address).
+        self.do_resteer(
+            pending,
+            ResteerStage::Decode,
+            ResteerCause::BogusShadow,
+            bogus_pc + 1,
+            false,
+        );
+    }
+
+    /// Simulate the wrong-path shadow, repair the IAG, charge the bubble.
+    fn do_resteer(
+        &mut self,
+        pending: &InFlight,
+        stage: ResteerStage,
+        cause: ResteerCause,
+        resume_pc: u64,
+        entered_by_branch: bool,
+    ) {
+        let _ = cause;
+        let detect = match stage {
+            ResteerStage::Decode => {
+                self.stats.decode_resteers += 1;
+                pending.decode_start + 1
+            }
+            ResteerStage::Execute => {
+                self.stats.exec_resteers += 1;
+                pending.decode_start + u64::from(self.config.exec_detect)
+            }
+        };
+
+        // Wrong-path fetch: the IAG kept forming blocks (one per cycle,
+        // bounded by the FTQ) until the resteer signal arrived. These blocks
+        // prefetch real lines — the pollution FDIP mis-speculation causes.
+        let shadow_cycles = detect.saturating_sub(pending.iag_cycle);
+        let wp_blocks = shadow_cycles.min(self.config.ftq_depth as u64);
+        for _ in 0..wp_blocks {
+            let blk = self.bpu.predict_block();
+            let lines = self.prefetch_lines(&blk);
+            self.stats.wrong_path_prefetches += lines.len() as u64;
+            self.stats.wrong_path_blocks += 1;
+            self.bpu.shadow_decode(self.program, &blk);
+        }
+
+        // Repair: the IAG restarts after the signal plus the repair cycles
+        // (plus the CACTI surcharge for oversized BTBs).
+        self.iag_cycle = detect
+            + u64::from(self.config.decode_repair)
+            + u64::from(self.config.btb_extra_latency);
+        self.ftq.clear();
+        self.bpu.resteer(resume_pc, entered_by_branch);
+        self.pending = None;
+    }
+}
+
+impl<'p> Simulator<'p> {
+    /// Read-only access to accumulated statistics mid-run.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Mutable access to the BPU (testing and fault-injection aid).
+    pub fn bpu_mut(&mut self) -> &mut Bpu {
+        &mut self.bpu
+    }
+}

@@ -1,0 +1,99 @@
+//! Failure injection: the simulator must stay correct and make forward
+//! progress when the SBB is poisoned with adversarial garbage.
+
+use skia_core::{ShadowBranch, SkiaConfig};
+use skia_frontend::{BtbMode, FrontendConfig, Simulator};
+use skia_isa::BranchKind;
+use skia_uarch::btb::BtbConfig;
+use skia_workloads::{Program, ProgramSpec, Walker};
+
+fn small_cfg() -> FrontendConfig {
+    FrontendConfig {
+        btb: BtbMode::Finite(BtbConfig::with_entries(256)),
+        skia: Some(SkiaConfig::default()),
+        ..FrontendConfig::test_small()
+    }
+}
+
+#[test]
+fn poisoned_sbb_cannot_stall_or_corrupt_the_simulation() {
+    let program = Program::generate(&ProgramSpec {
+        functions: 400,
+        ..ProgramSpec::default()
+    });
+    let steps = 20_000;
+    let expected: u64 = Walker::new(&program, 5, 6)
+        .take(steps)
+        .map(|s| u64::from(s.insns))
+        .sum();
+
+    let mut sim = Simulator::new(&program, small_cfg());
+    // Poison: plant bogus branches at mid-instruction addresses throughout
+    // the image — phantom returns and jumps to garbage targets.
+    {
+        let skia = sim.bpu_mut().skia.as_mut().expect("skia enabled");
+        for i in 0..2000u64 {
+            let pc = program.base() + 1 + i * 13; // deliberately misaligned
+            let kind = if i % 2 == 0 {
+                BranchKind::Return
+            } else {
+                BranchKind::DirectUncond
+            };
+            skia.force_insert(&ShadowBranch {
+                pc,
+                len: 2,
+                kind,
+                target: Some(program.base() ^ 0xFFF),
+                line_offset: (pc % 64) as u8,
+            });
+        }
+    }
+
+    let stats = sim.run(Walker::new(&program, 5, 6).take(steps));
+    // Forward progress and exact instruction accounting despite poison.
+    assert_eq!(stats.instructions, expected);
+    assert!(stats.cycles > 0);
+    // The poison must have been noticed and cleaned, not silently believed.
+    assert!(stats.bogus_resteers > 0, "poison never detected");
+    let sk = stats.skia.expect("skia stats");
+    assert!(sk.bogus_uses > 0);
+}
+
+#[test]
+fn poisoned_run_costs_cycles_but_converges() {
+    let program = Program::generate(&ProgramSpec {
+        functions: 400,
+        ..ProgramSpec::default()
+    });
+    let steps = 20_000;
+
+    let clean = {
+        let mut sim = Simulator::new(&program, small_cfg());
+        sim.run(Walker::new(&program, 7, 6).take(steps))
+    };
+    let poisoned = {
+        let mut sim = Simulator::new(&program, small_cfg());
+        {
+            let skia = sim.bpu_mut().skia.as_mut().unwrap();
+            for i in 0..500u64 {
+                skia.force_insert(&ShadowBranch {
+                    pc: program.base() + 3 + i * 29,
+                    len: 1,
+                    kind: BranchKind::Return,
+                    target: None,
+                    line_offset: 0,
+                });
+            }
+        }
+        sim.run(Walker::new(&program, 7, 6).take(steps))
+    };
+    assert_eq!(clean.instructions, poisoned.instructions);
+    // Poison may cost cycles but the retired-bit policy + bogus invalidation
+    // keep the penalty bounded (well under a 2x blowup).
+    assert!(
+        poisoned.cycles < clean.cycles * 2,
+        "poison blowup: {} vs {}",
+        poisoned.cycles,
+        clean.cycles
+    );
+}

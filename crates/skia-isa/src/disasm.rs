@@ -1,0 +1,293 @@
+//! A small textual disassembler for the supported subset.
+//!
+//! Produces AT&T-free, Intel-ish mnemonics with enough operand detail to
+//! debug shadow-decode paths and read generated code images. Exactness of
+//! operand rendering is *not* a goal (the length decoder is the contract);
+//! the disassembler never disagrees with [`crate::decode::decode`] about
+//! lengths or branch classification — that invariant is property-tested.
+
+use crate::decode::{decode, DecodeError, Decoded};
+use crate::kind::{BranchKind, InsnKind};
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmInsn {
+    /// Address of the first byte.
+    pub pc: u64,
+    /// Decoded metadata (length, classification).
+    pub decoded: Decoded,
+    /// Textual form, e.g. `"jmp 0x401020"` or `"mov r, imm32"`.
+    pub text: String,
+}
+
+/// Registers for display.
+const REG64: [&str; 8] = ["rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi"];
+
+fn cc_name(cc: u8) -> &'static str {
+    match cc & 0xF {
+        0x0 => "o",
+        0x1 => "no",
+        0x2 => "b",
+        0x3 => "ae",
+        0x4 => "e",
+        0x5 => "ne",
+        0x6 => "be",
+        0x7 => "a",
+        0x8 => "s",
+        0x9 => "ns",
+        0xA => "p",
+        0xB => "np",
+        0xC => "l",
+        0xD => "ge",
+        0xE => "le",
+        _ => "g",
+    }
+}
+
+/// Mnemonic for the opcode byte(s), skipping prefixes. Falls back to a
+/// generic family name for instructions the subset treats generically.
+fn mnemonic(bytes: &[u8], decoded: &Decoded, pc: u64) -> String {
+    // Skip prefixes the same way the decoder does.
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let legacy = matches!(
+            b,
+            0xF0 | 0xF2 | 0xF3 | 0x2E | 0x36 | 0x3E | 0x26 | 0x64 | 0x65 | 0x66 | 0x67
+        );
+        if legacy || (0x40..=0x4F).contains(&b) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let op = bytes.get(i).copied().unwrap_or(0);
+
+    if let InsnKind::Branch(b) = decoded.kind {
+        let target = b
+            .target(pc, decoded.len)
+            .map(|t| format!("{t:#x}"))
+            .unwrap_or_else(|| "<dynamic>".to_string());
+        return match b.kind {
+            BranchKind::DirectUncond => format!("jmp {target}"),
+            BranchKind::Call => format!("call {target}"),
+            BranchKind::Return => "ret".to_string(),
+            BranchKind::IndirectJmp => {
+                let modrm = bytes.get(i + 1).copied().unwrap_or(0);
+                if modrm >> 6 == 0b11 {
+                    format!("jmp {}", REG64[(modrm & 7) as usize])
+                } else {
+                    "jmp [mem]".to_string()
+                }
+            }
+            BranchKind::IndirectCall => {
+                let modrm = bytes.get(i + 1).copied().unwrap_or(0);
+                if modrm >> 6 == 0b11 {
+                    format!("call {}", REG64[(modrm & 7) as usize])
+                } else {
+                    "call [mem]".to_string()
+                }
+            }
+            BranchKind::DirectCond => {
+                let cc = if op == 0x0F {
+                    bytes.get(i + 1).copied().unwrap_or(0) & 0xF
+                } else if (0x70..=0x7F).contains(&op) {
+                    op & 0xF
+                } else {
+                    // LOOPcc / JCXZ family
+                    return format!("loopcc {target}");
+                };
+                format!("j{} {target}", cc_name(cc))
+            }
+        };
+    }
+
+    match op {
+        0x0F => {
+            let op1 = bytes.get(i + 1).copied().unwrap_or(0);
+            match op1 {
+                0x05 => "syscall".into(),
+                0x1F => "nop r/m".into(),
+                0x0D | 0x18..=0x1E => "hint-nop".into(),
+                0x40..=0x4F => format!("cmov{}", cc_name(op1 & 0xF)),
+                0x90..=0x9F => format!("set{}", cc_name(op1 & 0xF)),
+                0xA2 => "cpuid".into(),
+                0xAF => "imul r, r/m".into(),
+                0xB6 | 0xB7 => "movzx".into(),
+                0xBE | 0xBF => "movsx".into(),
+                0xC8..=0xCF => "bswap".into(),
+                0x10 | 0x11 => "movups".into(),
+                0x28 | 0x29 => "movaps".into(),
+                0x38 => "sse-0f38".into(),
+                0x3A => "sse-0f3a imm8".into(),
+                _ => "sse/sys op".into(),
+            }
+        }
+        0x00..=0x05 => "add".into(),
+        0x08..=0x0D => "or".into(),
+        0x10..=0x15 => "adc".into(),
+        0x18..=0x1D => "sbb".into(),
+        0x20..=0x25 => "and".into(),
+        0x28..=0x2D => "sub".into(),
+        0x30..=0x35 => "xor".into(),
+        0x38..=0x3D => "cmp".into(),
+        0x50..=0x57 => format!("push {}", REG64[(op & 7) as usize]),
+        0x58..=0x5F => format!("pop {}", REG64[(op & 7) as usize]),
+        0x63 => "movsxd".into(),
+        0x68 | 0x6A => "push imm".into(),
+        0x69 | 0x6B => "imul r, r/m, imm".into(),
+        0x6C..=0x6F => "ins/outs".into(),
+        0x80 | 0x81 | 0x83 => "alu r/m, imm".into(),
+        0x84 | 0x85 => "test".into(),
+        0x86 | 0x87 => "xchg".into(),
+        0x88..=0x8B => "mov".into(),
+        0x8D => "lea".into(),
+        0x8F => "pop r/m".into(),
+        0x90 => "nop".into(),
+        0x91..=0x97 => "xchg rax, r".into(),
+        0x98 => "cwde".into(),
+        0x99 => "cdq".into(),
+        0xA4..=0xA7 => "movs/cmps".into(),
+        0xA8 | 0xA9 => "test acc, imm".into(),
+        0xAA..=0xAF => "stos/lods/scas".into(),
+        0xB0..=0xB7 => "mov r8, imm8".into(),
+        0xB8..=0xBF => format!("mov {}, imm", REG64[(op & 7) as usize]),
+        0xC0 | 0xC1 | 0xD0..=0xD3 => "shift".into(),
+        0xC6 | 0xC7 => "mov r/m, imm".into(),
+        0xC8 => "enter".into(),
+        0xC9 => "leave".into(),
+        0xCC => "int3".into(),
+        0xCD => "int imm8".into(),
+        0xD7 => "xlat".into(),
+        0xD8..=0xDF => "x87 op".into(),
+        0xE4..=0xE7 | 0xEC..=0xEF => "in/out".into(),
+        0xF4 => "hlt".into(),
+        0xF5 => "cmc".into(),
+        0xF6 | 0xF7 => "grp3 op".into(),
+        0xF8..=0xFD => "flag op".into(),
+        0xFE => "inc/dec r/m8".into(),
+        0xFF => "grp5 op".into(),
+        _ => format!("op {op:#04x}"),
+    }
+}
+
+/// Disassemble one instruction at `pc`.
+///
+/// # Errors
+///
+/// Propagates the decode error for invalid/truncated encodings.
+pub fn disasm_one(bytes: &[u8], pc: u64) -> Result<DisasmInsn, DecodeError> {
+    let decoded = decode(bytes)?;
+    let text = mnemonic(bytes, &decoded, pc);
+    Ok(DisasmInsn { pc, decoded, text })
+}
+
+/// Disassemble a byte range sequentially from `pc`, stopping at the first
+/// undecodable or truncated instruction.
+#[must_use]
+pub fn disasm_range(bytes: &[u8], pc: u64) -> Vec<DisasmInsn> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match disasm_one(&bytes[off..], pc + off as u64) {
+            Ok(insn) => {
+                let len = usize::from(insn.decoded.len);
+                out.push(insn);
+                off += len;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Format a disassembly listing with addresses and byte columns.
+#[must_use]
+pub fn format_listing(bytes: &[u8], pc: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let mut off = 0usize;
+    for insn in disasm_range(bytes, pc) {
+        let len = usize::from(insn.decoded.len);
+        let hex: Vec<String> = bytes[off..off + len].iter().map(|b| format!("{b:02x}")).collect();
+        let _ = writeln!(s, "{:#010x}:  {:<24} {}", insn.pc, hex.join(" "), insn.text);
+        off += len;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn branch_mnemonics() {
+        let mut b = Vec::new();
+        encode::jmp_rel32(&mut b, 0x10);
+        let d = disasm_one(&b, 0x1000).unwrap();
+        assert_eq!(d.text, format!("jmp {:#x}", 0x1000 + 5 + 0x10));
+
+        b.clear();
+        encode::jcc_rel8(&mut b, 0x4, -2);
+        let d = disasm_one(&b, 0x2000).unwrap();
+        assert_eq!(d.text, "je 0x2000");
+
+        b.clear();
+        encode::ret(&mut b);
+        assert_eq!(disasm_one(&b, 0).unwrap().text, "ret");
+
+        b.clear();
+        encode::call_reg(&mut b, encode::Reg::Rbx);
+        assert_eq!(disasm_one(&b, 0).unwrap().text, "call rbx");
+
+        b.clear();
+        encode::jmp_mem_rip(&mut b, 8);
+        assert_eq!(disasm_one(&b, 0).unwrap().text, "jmp [mem]");
+    }
+
+    #[test]
+    fn nonbranch_mnemonics_cover_push_pop_mov() {
+        assert_eq!(disasm_one(&[0x50], 0).unwrap().text, "push rax");
+        assert_eq!(disasm_one(&[0x5B], 0).unwrap().text, "pop rbx");
+        assert_eq!(
+            disasm_one(&[0xB9, 1, 0, 0, 0], 0).unwrap().text,
+            "mov rcx, imm"
+        );
+        assert_eq!(disasm_one(&[0x90], 0).unwrap().text, "nop");
+    }
+
+    #[test]
+    fn range_disassembly_stops_at_invalid() {
+        let mut b = Vec::new();
+        encode::nop_exact(&mut b, 3);
+        encode::ret(&mut b);
+        b.push(0x06); // invalid
+        encode::nop_exact(&mut b, 1);
+        let insns = disasm_range(&b, 0x100);
+        assert_eq!(insns.len(), 2);
+        assert_eq!(insns[1].text, "ret");
+    }
+
+    #[test]
+    fn listing_contains_addresses_and_bytes() {
+        let mut b = Vec::new();
+        encode::jmp_rel8(&mut b, 4);
+        let listing = format_listing(&b, 0x400000);
+        assert!(listing.contains("0x00400000"));
+        assert!(listing.contains("eb 04"));
+        assert!(listing.contains("jmp"));
+    }
+
+    #[test]
+    fn disasm_agrees_with_decoder_on_generated_code() {
+        // Disassembly must never disagree with decode about lengths.
+        let mut bytes = Vec::new();
+        for sel in 0..512u64 {
+            encode::emit_nonbranch(&mut bytes, sel.wrapping_mul(0x9E37_79B9_97F4_A7C1));
+        }
+        let insns = disasm_range(&bytes, 0);
+        let total: usize = insns.iter().map(|i| usize::from(i.decoded.len)).sum();
+        assert_eq!(total, bytes.len());
+    }
+}

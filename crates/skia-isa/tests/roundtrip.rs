@@ -1,0 +1,110 @@
+//! Property tests: every encoder template round-trips through the decoder,
+//! and the decoder is total (never panics) on arbitrary byte soup.
+
+use proptest::prelude::*;
+use skia_isa::{decode, encode, BranchKind, DecodeError, InsnKind, MAX_INSN_LEN};
+
+proptest! {
+    /// Decoding arbitrary bytes must never panic and must never report a
+    /// length outside 1..=15 or beyond the available bytes.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match decode::decode(&bytes) {
+            Ok(d) => {
+                prop_assert!(d.len >= 1);
+                prop_assert!(usize::from(d.len) <= MAX_INSN_LEN);
+                prop_assert!(usize::from(d.len) <= bytes.len());
+            }
+            Err(DecodeError::Truncated(n)) => prop_assert_eq!(n, bytes.len()),
+            Err(_) => {}
+        }
+    }
+
+    /// A decode result is a pure function of the first `len` bytes: appending
+    /// garbage after a complete instruction must not change the result.
+    #[test]
+    fn decode_ignores_trailing_bytes(
+        selector in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = Vec::new();
+        encode::emit_nonbranch(&mut buf, selector);
+        let clean = decode::decode(&buf).unwrap();
+        buf.extend_from_slice(&garbage);
+        let noisy = decode::decode(&buf).unwrap();
+        prop_assert_eq!(clean, noisy);
+    }
+
+    /// Every non-branch template decodes to its own emitted length and is
+    /// classified as a non-branch.
+    #[test]
+    fn nonbranch_roundtrip(selector in any::<u64>()) {
+        let mut buf = Vec::new();
+        let len = encode::emit_nonbranch(&mut buf, selector);
+        let d = decode::decode(&buf).unwrap();
+        prop_assert_eq!(usize::from(d.len), len);
+        prop_assert_eq!(d.kind, InsnKind::Other);
+    }
+
+    /// Direct branch encodings carry their displacement through the decoder.
+    #[test]
+    fn direct_branch_rel_roundtrip(rel in any::<i32>(), cc in 0u8..16) {
+        let mut buf = Vec::new();
+        encode::jmp_rel32(&mut buf, rel);
+        let d = decode::decode(&buf).unwrap();
+        let b = d.kind.branch().expect("jmp is a branch");
+        prop_assert_eq!(b.kind, BranchKind::DirectUncond);
+        prop_assert_eq!(b.rel, Some(rel));
+
+        buf.clear();
+        encode::jcc_rel32(&mut buf, cc, rel);
+        let d = decode::decode(&buf).unwrap();
+        let b = d.kind.branch().expect("jcc is a branch");
+        prop_assert_eq!(b.kind, BranchKind::DirectCond);
+        prop_assert_eq!(b.rel, Some(rel));
+
+        buf.clear();
+        encode::call_rel32(&mut buf, rel);
+        let d = decode::decode(&buf).unwrap();
+        let b = d.kind.branch().expect("call is a branch");
+        prop_assert_eq!(b.kind, BranchKind::Call);
+        prop_assert_eq!(b.rel, Some(rel));
+    }
+
+    /// rel8 branch displacements sign-extend correctly.
+    #[test]
+    fn rel8_sign_extension(rel in any::<i8>()) {
+        let mut buf = Vec::new();
+        encode::jmp_rel8(&mut buf, rel);
+        let d = decode::decode(&buf).unwrap();
+        prop_assert_eq!(d.kind.branch().unwrap().rel, Some(i32::from(rel)));
+    }
+
+    /// Branch target arithmetic: target = pc + len + rel, mod 2^64.
+    #[test]
+    fn branch_target_arithmetic(pc in any::<u64>(), rel in any::<i32>()) {
+        let mut buf = Vec::new();
+        encode::jmp_rel32(&mut buf, rel);
+        let d = decode::decode(&buf).unwrap();
+        let expect = pc.wrapping_add(5).wrapping_add(rel as i64 as u64);
+        prop_assert_eq!(d.branch_target(pc), Some(expect));
+    }
+
+    /// Concatenated instruction streams decode back instruction-by-
+    /// instruction with the same boundaries the encoder produced.
+    #[test]
+    fn stream_boundaries_recoverable(selectors in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let mut buf = Vec::new();
+        let mut lens = Vec::new();
+        for s in &selectors {
+            lens.push(encode::emit_nonbranch(&mut buf, *s));
+        }
+        let mut off = 0usize;
+        for (i, want) in lens.iter().enumerate() {
+            let d = decode::decode(&buf[off..]).unwrap();
+            prop_assert_eq!(usize::from(d.len), *want, "insn {} at {}", i, off);
+            off += *want;
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+}

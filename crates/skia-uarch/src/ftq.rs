@@ -1,0 +1,173 @@
+//! Fetch Target Queue.
+//!
+//! The FTQ is the decoupling buffer between the Instruction Address Generator
+//! and the Instruction Fetch Unit (paper §2.1): a bounded FIFO of predicted
+//! basic blocks. Its depth controls how far FDIP can run ahead — the paper
+//! uses 24 entries. The queue is generic over its entry type; the frontend
+//! stores basic-block descriptors plus predictor checkpoints in it.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO with occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct Ftq<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    enqueues: u64,
+    flushes: u64,
+    occupancy_sum: u64,
+    occupancy_samples: u64,
+}
+
+impl<T> Ftq<T> {
+    /// Create a queue holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FTQ needs at least one entry");
+        Ftq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            enqueues: 0,
+            flushes: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+        }
+    }
+
+    /// Maximum entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another entry fits.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueue at the tail. Returns the entry back if the queue is full.
+    pub fn push(&mut self, entry: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.enqueues += 1;
+        self.entries.push_back(entry);
+        Ok(())
+    }
+
+    /// Dequeue from the head.
+    pub fn pop(&mut self) -> Option<T> {
+        self.entries.pop_front()
+    }
+
+    /// Inspect the head without dequeuing.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.entries.front()
+    }
+
+    /// Inspect the tail (most recently predicted block).
+    #[must_use]
+    pub fn back(&self) -> Option<&T> {
+        self.entries.back()
+    }
+
+    /// Drop every entry (control-flow resteer, §5.2: "the FTQ is flushed").
+    pub fn flush(&mut self) {
+        if !self.entries.is_empty() {
+            self.flushes += 1;
+        }
+        self.entries.clear();
+    }
+
+    /// Record an occupancy sample (call once per simulated cycle).
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_sum += self.entries.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    /// Mean sampled occupancy.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// `(enqueues, flushes)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.enqueues, self.flushes)
+    }
+
+    /// Iterate entries from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut q = Ftq::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn flush_clears_and_counts() {
+        let mut q = Ftq::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.flush();
+        assert!(q.is_empty());
+        assert_eq!(q.stats(), (2, 1));
+        // Flushing an empty queue is not counted.
+        q.flush();
+        assert_eq!(q.stats().1, 1);
+    }
+
+    #[test]
+    fn occupancy_sampling() {
+        let mut q = Ftq::new(4);
+        q.sample_occupancy(); // 0
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.sample_occupancy(); // 2
+        assert!((q.mean_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Ftq::<u8>::new(0);
+    }
+}

@@ -1,0 +1,352 @@
+//! A generic set-associative tag array with true-LRU replacement and
+//! caller-controlled victim preference.
+//!
+//! Caches, the BTB and Skia's Shadow Branch Buffer are all tag arrays that
+//! differ only in what they store per entry and in how they pick victims
+//! (the SBB prefers evicting entries whose *retired* bit is clear, §4.3).
+//! This type factors out the shared mechanics.
+
+/// One way of one set.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    tag: u64,
+    last_use: u64,
+    value: V,
+}
+
+/// A set-associative array of `V` values keyed by `(set, tag)`.
+///
+/// The number of sets does not have to be a power of two (the paper's R-SBB
+/// has 2024 entries at 4 ways = 506 sets); callers map addresses to sets with
+/// [`TagArray::set_of`], which reduces modulo the set count.
+#[derive(Debug, Clone)]
+pub struct TagArray<V> {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<Slot<V>>>,
+    tick: u64,
+}
+
+impl<V> TagArray<V> {
+    /// Create an array of `sets × ways` invalid slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "tag array needs at least one set");
+        assert!(ways > 0, "tag array needs at least one way");
+        let mut slots = Vec::new();
+        slots.resize_with(sets * ways, || None);
+        TagArray {
+            sets,
+            ways,
+            slots,
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total number of entry slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of currently valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no entry is valid.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Map a key to its set index (modulo reduction, power-of-two friendly).
+    #[must_use]
+    pub fn set_of(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize
+    }
+
+    fn range(&self, set: usize) -> std::ops::Range<usize> {
+        debug_assert!(set < self.sets);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Look up without updating recency (a *probe* in hardware terms).
+    #[must_use]
+    pub fn probe(&self, set: usize, tag: u64) -> Option<&V> {
+        self.slots[self.range(set)]
+            .iter()
+            .flatten()
+            .find(|s| s.tag == tag)
+            .map(|s| &s.value)
+    }
+
+    /// Look up and update recency on hit.
+    pub fn access(&mut self, set: usize, tag: u64) -> Option<&mut V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.range(set);
+        self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == tag)
+            .map(|s| {
+                s.last_use = tick;
+                &mut s.value
+            })
+    }
+
+    /// Get a mutable reference without a recency update.
+    pub fn peek_mut(&mut self, set: usize, tag: u64) -> Option<&mut V> {
+        let range = self.range(set);
+        self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == tag)
+            .map(|s| &mut s.value)
+    }
+
+    /// Insert (or overwrite) an entry using plain LRU victim selection.
+    ///
+    /// Returns the evicted `(tag, value)` if a valid entry was displaced.
+    pub fn insert(&mut self, set: usize, tag: u64, value: V) -> Option<(u64, V)> {
+        self.insert_with(set, tag, value, |_| false)
+    }
+
+    /// Insert with a victim *preference*: among valid candidates, entries for
+    /// which `prefer_evict` returns `true` are victimized first (oldest such
+    /// entry); only if none qualifies does plain LRU apply. Invalid slots are
+    /// always used before any eviction.
+    ///
+    /// This implements the SBB's retired-bit policy: pass
+    /// `|e| !e.retired` so never-committed ("possibly bogus") entries leave
+    /// first (paper §4.3).
+    pub fn insert_with(
+        &mut self,
+        set: usize,
+        tag: u64,
+        value: V,
+        prefer_evict: impl Fn(&V) -> bool,
+    ) -> Option<(u64, V)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.range(set);
+
+        // Overwrite on tag match.
+        if let Some(slot) = self.slots[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == tag)
+        {
+            slot.last_use = tick;
+            let old = std::mem::replace(&mut slot.value, value);
+            return Some((tag, old));
+        }
+
+        // Free slot?
+        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Slot {
+                tag,
+                last_use: tick,
+                value,
+            });
+            return None;
+        }
+
+        // Victim: preferred class first (oldest within it), else global LRU.
+        let victim_idx = {
+            let slice = &self.slots[range.clone()];
+            let mut best: Option<(usize, bool, u64)> = None;
+            for (i, slot) in slice.iter().enumerate() {
+                let s = slot.as_ref().expect("set is full here");
+                let preferred = prefer_evict(&s.value);
+                let candidate = (i, preferred, s.last_use);
+                best = Some(match best {
+                    None => candidate,
+                    Some(b) => {
+                        // Prefer the preferred class; within a class, older wins.
+                        let better = match (candidate.1, b.1) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => candidate.2 < b.2,
+                        };
+                        if better {
+                            candidate
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            range.start + best.expect("ways > 0").0
+        };
+        let old = self.slots[victim_idx].replace(Slot {
+            tag,
+            last_use: tick,
+            value,
+        });
+        old.map(|s| (s.tag, s.value))
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn invalidate(&mut self, set: usize, tag: u64) -> Option<V> {
+        let range = self.range(set);
+        for slot in &mut self.slots[range] {
+            if slot.as_ref().is_some_and(|s| s.tag == tag) {
+                return slot.take().map(|s| s.value);
+            }
+        }
+        None
+    }
+
+    /// Clear all entries.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// Iterate over all valid `(set, tag, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &V)> + '_ {
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            s.as_ref().map(|slot| (i / self.ways, slot.tag, &slot.value))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_probe() {
+        let mut a: TagArray<u32> = TagArray::new(4, 2);
+        assert!(a.is_empty());
+        assert_eq!(a.insert(1, 100, 7), None);
+        assert_eq!(a.probe(1, 100), Some(&7));
+        assert_eq!(a.probe(1, 101), None);
+        assert_eq!(a.probe(2, 100), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let mut a: TagArray<u32> = TagArray::new(2, 2);
+        a.insert(0, 5, 1);
+        assert_eq!(a.insert(0, 5, 2), Some((5, 1)));
+        assert_eq!(a.probe(0, 5), Some(&2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut a: TagArray<&str> = TagArray::new(1, 2);
+        a.insert(0, 1, "one");
+        a.insert(0, 2, "two");
+        // Touch tag 1 so tag 2 becomes LRU.
+        assert!(a.access(0, 1).is_some());
+        let evicted = a.insert(0, 3, "three");
+        assert_eq!(evicted, Some((2, "two")));
+        assert!(a.probe(0, 1).is_some());
+        assert!(a.probe(0, 3).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut a: TagArray<u8> = TagArray::new(1, 2);
+        a.insert(0, 1, 0);
+        a.insert(0, 2, 0);
+        // probe (not access) of tag 1: tag 1 stays LRU and is evicted.
+        assert!(a.probe(0, 1).is_some());
+        let evicted = a.insert(0, 3, 0);
+        assert_eq!(evicted.map(|e| e.0), Some(1));
+    }
+
+    #[test]
+    fn preferred_victims_evicted_first_even_if_recent() {
+        #[derive(Debug, PartialEq)]
+        struct E {
+            retired: bool,
+        }
+        let mut a: TagArray<E> = TagArray::new(1, 2);
+        a.insert(0, 1, E { retired: true });
+        a.insert(0, 2, E { retired: false }); // newer but not retired
+        let evicted = a.insert_with(0, 3, E { retired: false }, |e| !e.retired);
+        assert_eq!(evicted.map(|e| e.0), Some(2), "non-retired evicted first");
+    }
+
+    #[test]
+    fn preference_falls_back_to_lru_when_no_preferred_candidate() {
+        #[derive(Debug)]
+        struct E {
+            retired: bool,
+        }
+        let mut a: TagArray<E> = TagArray::new(1, 2);
+        a.insert(0, 1, E { retired: true });
+        a.insert(0, 2, E { retired: true });
+        let evicted = a.insert_with(0, 3, E { retired: false }, |e| !e.retired);
+        assert_eq!(evicted.map(|e| e.0), Some(1), "plain LRU fallback");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut a: TagArray<u8> = TagArray::new(2, 2);
+        a.insert(1, 9, 42);
+        assert_eq!(a.invalidate(1, 9), Some(42));
+        assert_eq!(a.invalidate(1, 9), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn non_power_of_two_sets() {
+        // R-SBB shape: 506 sets × 4 ways = 2024 entries.
+        let mut a: TagArray<u8> = TagArray::new(506, 4);
+        assert_eq!(a.capacity(), 2024);
+        for key in 0..5000u64 {
+            let set = a.set_of(key);
+            assert!(set < 506);
+            a.insert(set, key, 0);
+        }
+        assert!(a.len() <= 2024);
+    }
+
+    #[test]
+    fn iter_reports_sets() {
+        let mut a: TagArray<u8> = TagArray::new(4, 1);
+        a.insert(3, 77, 5);
+        let items: Vec<_> = a.iter().collect();
+        assert_eq!(items, vec![(3usize, 77u64, &5u8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_rejected() {
+        let _ = TagArray::<u8>::new(0, 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a: TagArray<u8> = TagArray::new(2, 2);
+        a.insert(0, 1, 1);
+        a.insert(1, 2, 2);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on the microarchitectural structures.
+
+use proptest::prelude::*;
+use skia_uarch::btb::{Btb, BtbConfig};
+use skia_uarch::cache::{Cache, CacheConfig};
+use skia_uarch::ras::ReturnAddressStack;
+use skia_uarch::tag_array::TagArray;
+use skia_isa::BranchKind;
+
+proptest! {
+    /// A tag array never exceeds capacity and always finds the most
+    /// recently inserted entry for a key.
+    #[test]
+    fn tag_array_capacity_and_mru(
+        sets in 1usize..16,
+        ways in 1usize..8,
+        ops in proptest::collection::vec((any::<u64>(), any::<u32>()), 1..200),
+    ) {
+        let mut arr: TagArray<u32> = TagArray::new(sets, ways);
+        let mut last: std::collections::HashMap<u64, u32> = Default::default();
+        for (key, val) in &ops {
+            let set = arr.set_of(*key);
+            arr.insert(set, *key, *val);
+            last.insert(*key, *val);
+            prop_assert!(arr.len() <= arr.capacity());
+        }
+        // Every resident entry must carry the last value written to it.
+        for (set, tag, val) in arr.iter() {
+            prop_assert_eq!(arr.set_of(tag), set);
+            prop_assert_eq!(Some(val), last.get(&tag));
+        }
+    }
+
+    /// Cache residency is exact: after a fill the line is resident until an
+    /// eviction displaces it, and stats add up.
+    #[test]
+    fn cache_stats_add_up(addrs in proptest::collection::vec(any::<u32>(), 1..300)) {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 8 * 64,
+            ways: 2,
+            line_bytes: 64,
+        });
+        for &a in &addrs {
+            let addr = u64::from(a);
+            let hit = c.demand_access(addr);
+            if !hit {
+                c.fill(addr, false);
+                prop_assert!(c.contains(addr));
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.demand_hits + s.demand_misses, addrs.len() as u64);
+        prop_assert!(c.resident_lines() <= 8);
+    }
+
+    /// The BTB's ordered key mirror always agrees with probe().
+    #[test]
+    fn btb_mirror_consistency(pcs in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut btb = Btb::new(BtbConfig { entries: 32, ways: 4 });
+        for &pc in &pcs {
+            btb.insert(u64::from(pc), BranchKind::Call, 0, 5);
+        }
+        // Walk the mirror; every reported key must probe-hit, in order.
+        let mut cursor = 0u64;
+        let mut count = 0usize;
+        while let Some(k) = btb.next_branch_at_or_after(cursor) {
+            prop_assert!(k >= cursor);
+            prop_assert!(btb.probe(k).is_some(), "mirror key {k:#x} not resident");
+            cursor = k + 1;
+            count += 1;
+        }
+        prop_assert_eq!(count, btb.len());
+    }
+
+    /// RAS checkpoint/restore always undoes one speculative excursion of
+    /// pushes and pops (bounded by capacity).
+    #[test]
+    fn ras_checkpoint_roundtrip(
+        setup in proptest::collection::vec(any::<u16>(), 0..8),
+        spec_ops in proptest::collection::vec(any::<bool>(), 1..4),
+    ) {
+        let mut ras = ReturnAddressStack::new(16);
+        for &v in &setup {
+            ras.push(u64::from(v));
+        }
+        let before_top = ras.peek();
+        let cp = ras.checkpoint();
+        // A short wrong-path excursion with at most one net overwrite.
+        let mut pushed = false;
+        for &push in &spec_ops {
+            if push && !pushed {
+                ras.push(0xBAD);
+                pushed = true;
+            } else if !push {
+                let _ = ras.pop();
+            }
+        }
+        ras.restore(cp);
+        prop_assert_eq!(ras.peek(), before_top);
+    }
+}

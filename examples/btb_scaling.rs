@@ -1,0 +1,56 @@
+//! BTB scaling mini-study (the shape of the paper's Fig. 3).
+//!
+//! Sweeps BTB sizes on one workload and compares: the plain BTB, the BTB
+//! grown by 12.25 KB, and the BTB plus Skia's 12.25 KB SBB — showing that
+//! the SBB buys more than the same storage spent on BTB entries.
+//!
+//! ```text
+//! cargo run --release --example btb_scaling
+//! ```
+
+use skia::prelude::*;
+use skia::uarch::btb::BtbConfig;
+
+fn main() {
+    let spec = ProgramSpec {
+        functions: 4000,
+        ..ProgramSpec::default()
+    };
+    let program = Program::generate(&spec);
+    let steps = 120_000;
+    let trace = || Walker::new(&program, 21, spec.mean_trip_count).take(steps);
+
+    let extra = BtbConfig::entries_for_budget_kb(12.25, 4);
+    println!("12.25 KB of BTB storage = {extra} extra entries\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "BTB", "IPC", "IPC +12.25KB", "IPC +SBB"
+    );
+
+    for entries in [1024usize, 2048, 4096, 8192, 16384] {
+        let base = skia::frontend::run(
+            &program,
+            FrontendConfig::alder_lake_like().with_btb_entries(entries),
+            trace(),
+        );
+        let grown = skia::frontend::run(
+            &program,
+            FrontendConfig::alder_lake_like().with_btb_entries(entries + extra),
+            trace(),
+        );
+        let with_sbb = skia::frontend::run(
+            &program,
+            FrontendConfig::alder_lake_like()
+                .with_btb_entries(entries)
+                .with_skia(SkiaConfig::default()),
+            trace(),
+        );
+        println!(
+            "{:>10} {:>12.3} {:>14.3} {:>12.3}",
+            entries,
+            base.ipc(),
+            grown.ipc(),
+            with_sbb.ipc()
+        );
+    }
+}

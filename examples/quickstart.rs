@@ -1,0 +1,66 @@
+//! Quickstart: build a synthetic front-end-bound workload, run the paper's
+//! baseline front-end and the Skia-enhanced one, and print the headline
+//! comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use skia::prelude::*;
+
+fn main() {
+    // A mid-sized synthetic program: ~3000 functions of real x86-64 bytes,
+    // hot and cold functions interleaved on the same cache lines.
+    let spec = ProgramSpec {
+        functions: 3000,
+        ..ProgramSpec::default()
+    };
+    let program = Program::generate(&spec);
+    println!(
+        "program: {} KB of code, {} functions, {} static branches",
+        program.code_bytes() / 1024,
+        program.functions().len(),
+        program.branch_count()
+    );
+
+    let steps = 200_000;
+    let trace = || Walker::new(&program, 42, spec.mean_trip_count).take(steps);
+
+    // Paper baseline: 8K-entry (78 KB) BTB, FDIP front-end, no Skia.
+    let baseline = skia::frontend::run(&program, FrontendConfig::alder_lake_like(), trace());
+
+    // Same front-end plus Skia's 12.25 KB Shadow Branch Buffer.
+    let enhanced = skia::frontend::run(
+        &program,
+        FrontendConfig::alder_lake_with_skia(),
+        trace(),
+    );
+
+    println!("\n{:<28}{:>12}{:>12}", "metric", "baseline", "with Skia");
+    let r = |name: &str, a: f64, b: f64| println!("{name:<28}{a:>12.3}{b:>12.3}");
+    r("IPC", baseline.ipc(), enhanced.ipc());
+    r("BTB MPKI", baseline.btb_mpki(), enhanced.btb_mpki());
+    r("L1-I MPKI", baseline.l1i_mpki(), enhanced.l1i_mpki());
+    r(
+        "decode resteers /KI",
+        baseline.decode_resteers as f64 * 1000.0 / baseline.instructions as f64,
+        enhanced.decode_resteers as f64 * 1000.0 / enhanced.instructions as f64,
+    );
+    r(
+        "decoder idle cycles /KI",
+        baseline.decoder_idle_cycles() as f64 * 1000.0 / baseline.instructions as f64,
+        enhanced.decoder_idle_cycles() as f64 * 1000.0 / enhanced.instructions as f64,
+    );
+
+    let speedup = (enhanced.speedup_over(&baseline) - 1.0) * 100.0;
+    println!("\nSkia speedup: {speedup:.2}%");
+    if let Some(sk) = &enhanced.skia {
+        println!(
+            "SBB: {} U-inserts, {} R-inserts, {} rescued BTB misses, bogus rate {:.6}%",
+            sk.sbb.u_inserts,
+            sk.sbb.r_inserts,
+            enhanced.sbb_rescues,
+            sk.bogus_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Shadow-decoding walkthrough on raw bytes — the paper's Figs. 8–10 as a
+//! runnable demo.
+//!
+//! Builds a cache line by hand, shows the head-decode Index Computation /
+//! Path Validation phases (including the multiple-valid-decodings ambiguity
+//! of Fig. 8) and the unambiguous tail decode of Fig. 10.
+//!
+//! ```text
+//! cargo run --example shadow_decode_bytes
+//! ```
+
+use skia::core::{IndexPolicy, ShadowDecoder};
+use skia::isa::{decode, encode};
+
+fn main() {
+    // ---- Fig. 8: ambiguity ----
+    // "31 C3" is xor ebx,eax from byte 0, but byte 1 alone is a ret.
+    let fig8 = [0x31u8, 0xC3];
+    let from0 = decode::decode(&fig8).unwrap();
+    let from1 = decode::decode(&fig8[1..]).unwrap();
+    println!("Fig. 8 ambiguity on bytes {fig8:02X?}:");
+    println!("  from byte 0: len {} ({:?})", from0.len, from0.kind);
+    println!("  from byte 1: len {} ({:?})", from1.len, from1.kind);
+
+    // ---- Head decode (Fig. 9): Index Computation + Path Validation ----
+    // Line: [push rax][jmp rel32 -> +0x3F9][entry at 6 ...]
+    let mut line = Vec::new();
+    encode::emit_nonbranch(&mut line, 0); // push rax (1 byte)
+    encode::jmp_rel32(&mut line, 0x3F9); // the shadow branch
+    let entry_offset = line.len();
+    while line.len() < 64 {
+        encode::nop_exact(&mut line, 1);
+    }
+
+    println!("\nHead region bytes 0..{entry_offset}: {:02X?}", &line[..entry_offset]);
+    println!("Per-byte Length vector (Index Computation):");
+    for i in 0..entry_offset {
+        let len = decode::decode(&line[i..]).map(|d| d.len).unwrap_or(0);
+        println!("  Length[{i}] = {len}");
+    }
+
+    for policy in IndexPolicy::ALL {
+        let mut sbd = ShadowDecoder::new(policy, 6);
+        let hd = sbd.decode_head(&line, 0x1000, entry_offset);
+        println!(
+            "Path Validation [{}]: valid starts {:?}, chosen {:?}, {} shadow branch(es)",
+            policy.label(),
+            hd.valid_starts,
+            hd.chosen_start,
+            hd.branches.len()
+        );
+        for b in &hd.branches {
+            println!(
+                "    {:?} at {:#x}, target {:?}",
+                b.kind, b.pc, b.target
+            );
+        }
+    }
+
+    // ---- Tail decode (Fig. 10) ----
+    let mut tail_line = Vec::new();
+    encode::nop_exact(&mut tail_line, 4);
+    encode::jmp_rel8(&mut tail_line, 16); // executed exit branch
+    let exit_offset = tail_line.len();
+    encode::emit_nonbranch(&mut tail_line, 3); // mov r32,r32
+    encode::call_rel32(&mut tail_line, 0x100); // shadow call
+    encode::ret(&mut tail_line); // shadow return
+    while tail_line.len() < 64 {
+        encode::nop_exact(&mut tail_line, 1);
+    }
+
+    let mut sbd = ShadowDecoder::default();
+    let found = sbd.decode_tail(&tail_line, 0x2000, exit_offset);
+    println!("\nTail decode from exit offset {exit_offset} (Fig. 10):");
+    for b in &found {
+        println!("  {:?} at {:#x}, target {:?}", b.kind, b.pc, b.target);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests exercised through the `skia` facade — the
+//! whole pipeline from profile to simulator statistics.
+
+use skia::prelude::*;
+
+fn run_profile(name: &str, steps: usize, config: FrontendConfig) -> SimStats {
+    let p = profile(name).expect("paper benchmark");
+    let mut spec = p.spec.clone();
+    spec.functions = spec.functions.min(1200); // test-sized
+    let program = Program::generate(&spec);
+    let trace = Walker::new(&program, p.trace_seed, spec.mean_trip_count).take(steps);
+    skia::frontend::run(&program, config, trace)
+}
+
+#[test]
+fn every_paper_profile_simulates() {
+    for name in skia::workloads::profiles::PAPER_BENCHMARKS {
+        let stats = run_profile(name, 4_000, FrontendConfig::test_small());
+        assert!(stats.instructions > 0, "{name} produced no instructions");
+        assert!(stats.ipc() > 0.0, "{name} produced zero IPC");
+        assert_eq!(stats.branches, 4_000, "{name} step accounting");
+    }
+}
+
+#[test]
+fn skia_pipeline_rescues_on_real_profiles() {
+    let base = run_profile("tpcc", 40_000, FrontendConfig::alder_lake_like());
+    let with = run_profile("tpcc", 40_000, FrontendConfig::alder_lake_with_skia());
+    assert!(with.sbb_rescues > 0, "no rescues on tpcc");
+    assert!(
+        with.cycles < base.cycles,
+        "Skia should speed up tpcc: {} vs {}",
+        with.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn iso_storage_comparison_favors_skia() {
+    // The paper's central claim at small BTBs: SBB storage beats the same
+    // storage as BTB entries.
+    let p = profile("tpcc").unwrap();
+    let mut spec = p.spec.clone();
+    spec.functions = 2000;
+    let program = Program::generate(&spec);
+    let steps = 60_000;
+    let run = |cfg: FrontendConfig| {
+        let trace = Walker::new(&program, p.trace_seed, spec.mean_trip_count).take(steps);
+        skia::frontend::run(&program, cfg, trace)
+    };
+    let extra = BtbConfig::entries_for_budget_kb(12.25, 4);
+    let grown = run(FrontendConfig::alder_lake_like().with_btb_entries(2048 + extra));
+    let skia_cfg = run(FrontendConfig::alder_lake_like()
+        .with_btb_entries(2048)
+        .with_skia(SkiaConfig::default()));
+    assert!(
+        skia_cfg.cycles <= grown.cycles,
+        "SBB should beat iso-storage BTB growth: {} vs {}",
+        skia_cfg.cycles,
+        grown.cycles
+    );
+}
+
+#[test]
+fn infinite_btb_is_an_upper_bound() {
+    let finite = run_profile("ycsb", 30_000, FrontendConfig::alder_lake_like());
+    let infinite = run_profile(
+        "ycsb",
+        30_000,
+        FrontendConfig {
+            btb: BtbMode::Infinite,
+            ..FrontendConfig::alder_lake_like()
+        },
+    );
+    assert!(infinite.cycles <= finite.cycles);
+    assert!(infinite.btb_misses <= finite.btb_misses);
+}
+
+#[test]
+fn bolted_layout_reduces_btb_pressure() {
+    // §6.1.4: BOLT packs hot code, shrinking the BTB working set.
+    let p = profile("verilator").unwrap();
+    let pre = profile("verilator_prebolt").unwrap();
+    let mut bolted_spec = p.spec.clone();
+    let mut pre_spec = pre.spec.clone();
+    bolted_spec.functions = 2500;
+    pre_spec.functions = 2500;
+    let steps = 50_000;
+    let run = |spec: &ProgramSpec, seed: u64| {
+        let program = Program::generate(spec);
+        let trace = Walker::new(&program, seed, spec.mean_trip_count).take(steps);
+        skia::frontend::run(&program, FrontendConfig::alder_lake_like(), trace)
+    };
+    let bolted = run(&bolted_spec, p.trace_seed);
+    let prebolt = run(&pre_spec, pre.trace_seed);
+    assert!(
+        bolted.btb_misses < prebolt.btb_misses,
+        "bolted {} vs pre-bolt {}",
+        bolted.btb_misses,
+        prebolt.btb_misses
+    );
+}
+
+#[test]
+fn trace_is_identical_across_configurations() {
+    // §5.4: divergence between configurations must be zero by construction.
+    let p = profile("noop").unwrap();
+    let mut spec = p.spec.clone();
+    spec.functions = 800;
+    let program = Program::generate(&spec);
+    let a: Vec<TraceStep> =
+        Walker::new(&program, p.trace_seed, spec.mean_trip_count).take(10_000).collect();
+    let b: Vec<TraceStep> =
+        Walker::new(&program, p.trace_seed, spec.mean_trip_count).take(10_000).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn shadow_decoder_runs_on_program_bytes() {
+    // End-to-end: the SBD must find real branches in real generated lines.
+    let p = profile("cassandra").unwrap();
+    let mut spec = p.spec.clone();
+    spec.functions = 500;
+    let program = Program::generate(&spec);
+    let mut sbd = skia::core::ShadowDecoder::default();
+    let mut found = 0usize;
+    for f in program.functions().iter().take(200) {
+        for b in &f.blocks {
+            let t = &b.terminator;
+            if !t.kind.is_unconditional() {
+                continue;
+            }
+            let end = t.pc + u64::from(t.len);
+            let (line_base, line) = program.line(end.saturating_sub(1));
+            let exit = (end - line_base) as usize;
+            if exit < line.len() {
+                found += sbd.decode_tail(&line, line_base, exit).len();
+            }
+        }
+    }
+    assert!(found > 10, "tail decoding found only {found} branches");
+}
