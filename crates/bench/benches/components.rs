@@ -4,10 +4,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use skia_bench::{bench_workload, run_sim};
 use skia_core::{IndexPolicy, ShadowDecoder};
 use skia_frontend::FrontendConfig;
+use skia_isa::BranchKind;
 use skia_isa::{decode, encode};
 use skia_uarch::btb::{Btb, BtbConfig};
 use skia_uarch::tage::{Tage, TageConfig};
-use skia_isa::BranchKind;
 
 fn isa_decode(c: &mut Criterion) {
     // A realistic instruction mix.
@@ -50,7 +50,7 @@ fn shadow_decoding(c: &mut Criterion) {
     });
     c.bench_function("sbd_tail_decode", |b| {
         b.iter_batched(
-            || ShadowDecoder::default(),
+            ShadowDecoder::default,
             |mut sbd| sbd.decode_tail(&line, 0x1000, exit).len(),
             BatchSize::SmallInput,
         )
@@ -104,7 +104,16 @@ fn tage_ops(c: &mut Criterion) {
 fn simulator_step_rate(c: &mut Criterion) {
     let (program, seed, trip) = bench_workload();
     c.bench_function("simulator_10k_steps_baseline", |b| {
-        b.iter(|| run_sim(&program, seed, trip, FrontendConfig::alder_lake_like(), 10_000).cycles)
+        b.iter(|| {
+            run_sim(
+                &program,
+                seed,
+                trip,
+                FrontendConfig::alder_lake_like(),
+                10_000,
+            )
+            .cycles
+        })
     });
     c.bench_function("simulator_10k_steps_skia", |b| {
         b.iter(|| {

@@ -44,12 +44,7 @@ fn fig03(c: &mut Criterion) {
                 btb_cfg(2048).with_skia(SkiaConfig::default()),
                 STEPS,
             );
-            (
-                base.cycles,
-                grown.cycles,
-                skia.cycles,
-                skia.sbb_rescues,
-            )
+            (base.cycles, grown.cycles, skia.cycles, skia.sbb_rescues)
         })
     });
 }

@@ -25,7 +25,13 @@ pub fn bench_workload() -> (Program, u64, u32) {
 }
 
 /// Run `steps` of a simulation on the given program.
-pub fn run_sim(program: &Program, seed: u64, trip: u32, config: FrontendConfig, steps: usize) -> SimStats {
+pub fn run_sim(
+    program: &Program,
+    seed: u64,
+    trip: u32,
+    config: FrontendConfig,
+    steps: usize,
+) -> SimStats {
     let trace = Walker::new(program, seed, trip).take(steps);
     let mut sim = Simulator::new(program, config);
     sim.run(trace)

@@ -170,8 +170,8 @@ impl Sbb {
     /// Panics if the geometry does not divide into whole sets.
     #[must_use]
     pub fn new(config: SbbConfig) -> Self {
-        assert!(config.u_entries % config.ways == 0);
-        assert!(config.r_entries % config.ways == 0);
+        assert!(config.u_entries.is_multiple_of(config.ways));
+        assert!(config.r_entries.is_multiple_of(config.ways));
         Sbb {
             u: TagArray::new(config.u_entries / config.ways, config.ways),
             r: TagArray::new(config.r_entries / config.ways, config.ways),
@@ -250,12 +250,14 @@ impl Sbb {
     /// Insert a shadow branch found by the SBD.
     ///
     /// Jumps and calls go to the U-SBB, returns to the R-SBB. Eviction
-    /// prefers entries whose retired bit is clear.
-    pub fn insert(&mut self, branch: &ShadowBranch) {
+    /// prefers entries whose retired bit is clear. Returns the PC of the
+    /// entry this insertion displaced, if a *different* entry was evicted
+    /// (telemetry uses this to close SBB entry lifetimes).
+    pub fn insert(&mut self, branch: &ShadowBranch) -> Option<u64> {
         match branch.kind {
             BranchKind::DirectUncond | BranchKind::Call => {
                 let Some(target) = branch.target else {
-                    return; // direct branch without a target cannot help FDIP
+                    return None; // direct branch without a target cannot help FDIP
                 };
                 let set = self.u.set_of(branch.pc);
                 self.stats.u_inserts += 1;
@@ -278,8 +280,10 @@ impl Sbb {
                         if !old.retired {
                             self.stats.evicted_unretired += 1;
                         }
+                        return Some(tag);
                     }
                 }
+                None
             }
             BranchKind::Return => {
                 let set = self.r.set_of(branch.pc);
@@ -302,11 +306,14 @@ impl Sbb {
                         if !old.retired {
                             self.stats.evicted_unretired += 1;
                         }
+                        return Some(tag);
                     }
                 }
+                None
             }
             _ => {
                 debug_assert!(false, "SBD must only produce SBB-eligible branches");
+                None
             }
         }
     }

@@ -194,12 +194,7 @@ impl ShadowDecoder {
     ///
     /// Runs Index Computation + Path Validation and extracts branches from
     /// the path selected by the [`IndexPolicy`].
-    pub fn decode_head(
-        &mut self,
-        line: &[u8],
-        line_base: u64,
-        entry_offset: usize,
-    ) -> HeadDecode {
+    pub fn decode_head(&mut self, line: &[u8], line_base: u64, entry_offset: usize) -> HeadDecode {
         self.stats.head_regions += 1;
         let entry = entry_offset.min(line.len());
         if entry == 0 {

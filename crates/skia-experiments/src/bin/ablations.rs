@@ -4,24 +4,25 @@
 //! with timing; this binary prints the metric table.)
 
 use skia_core::{IndexPolicy, SbbConfig, SkiaConfig};
-use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_frontend::FrontendConfig;
 
 const BENCHES: [&str; 5] = ["tpcc", "voter", "kafka", "dotty", "ycsb"];
 
-fn measure(skia: SkiaConfig, steps: usize) -> (f64, f64, f64) {
+fn measure(skia: SkiaConfig, steps: usize, em: &mut JsonEmitter) -> (f64, f64, f64) {
     let mut speedups = Vec::new();
     let mut rescues = 0u64;
     let mut bogus = 0u64;
     let mut insns = 0u64;
     for name in BENCHES {
         let w = Workload::by_name(name);
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
-        let s = w.run(
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, em);
+        let s = w.run_emit(
             FrontendConfig::alder_lake_like()
                 .with_btb_entries(8192)
                 .with_skia(skia),
             steps,
+            em,
         );
         speedups.push(s.speedup_over(&base));
         rescues += s.sbb_rescues;
@@ -37,8 +38,8 @@ fn measure(skia: SkiaConfig, steps: usize) -> (f64, f64, f64) {
     )
 }
 
-fn print_row(name: &str, skia: SkiaConfig, steps: usize) {
-    let (speedup, rescues, bogus) = measure(skia, steps);
+fn print_row(name: &str, skia: SkiaConfig, steps: usize, em: &mut JsonEmitter) {
+    let (speedup, rescues, bogus) = measure(skia, steps, em);
     row(&[
         name.to_string(),
         format!("{speedup:+.2}%"),
@@ -49,6 +50,7 @@ fn print_row(name: &str, skia: SkiaConfig, steps: usize) {
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Ablations (geomean over {:?})\n", BENCHES);
     row(&[
@@ -59,7 +61,12 @@ fn main() {
     ]);
     row(&vec!["---".to_string(); 4]);
 
-    print_row("default (merge, ≤6 families, retired-LRU)", SkiaConfig::default(), steps);
+    print_row(
+        "default (merge, ≤6 families, retired-LRU)",
+        SkiaConfig::default(),
+        steps,
+        &mut em,
+    );
     for policy in IndexPolicy::ALL {
         print_row(
             &format!("index policy = {}", policy.label()),
@@ -68,6 +75,7 @@ fn main() {
                 ..SkiaConfig::default()
             },
             steps,
+            &mut em,
         );
     }
     for bound in [1usize, 2, 8] {
@@ -78,6 +86,7 @@ fn main() {
                 ..SkiaConfig::default()
             },
             steps,
+            &mut em,
         );
     }
     print_row(
@@ -87,6 +96,7 @@ fn main() {
             ..SkiaConfig::default()
         },
         steps,
+        &mut em,
     );
     print_row(
         "filter BTB-resident inserts",
@@ -95,6 +105,7 @@ fn main() {
             ..SkiaConfig::default()
         },
         steps,
+        &mut em,
     );
     print_row(
         "all-U split (~12.25KB)",
@@ -103,6 +114,7 @@ fn main() {
             ..SkiaConfig::default()
         },
         steps,
+        &mut em,
     );
     print_row(
         "all-R split (~12.25KB)",
@@ -111,5 +123,7 @@ fn main() {
             ..SkiaConfig::default()
         },
         steps,
+        &mut em,
     );
+    em.finish();
 }

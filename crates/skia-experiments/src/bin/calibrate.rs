@@ -3,11 +3,12 @@
 //! that the synthetic workloads land in the paper's qualitative regime
 //! (L1-I MPKI > 10, high BTB miss L1-I residency, Skia speedups).
 
-use skia_experiments::{steps_from_env, StandingConfig, Workload};
+use skia_experiments::{steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
     let names: Vec<&str> = std::env::args()
         .skip(1)
         .map(|s| &*s.leak())
@@ -20,11 +21,20 @@ fn main() {
 
     println!(
         "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>9} {:>8} {:>8}",
-        "bench", "ipc", "ipcSkia", "speedup", "l1iMPKI", "btbMPKI", "l1iRes%", "rescues/KI", "bogus", "condMPKI"
+        "bench",
+        "ipc",
+        "ipcSkia",
+        "speedup",
+        "l1iMPKI",
+        "btbMPKI",
+        "l1iRes%",
+        "rescues/KI",
+        "bogus",
+        "condMPKI"
     );
     for name in names {
         let w = Workload::by_name(name);
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
         let mut skia_cfg = skia_core::SkiaConfig::default();
         if let Ok(p) = std::env::var("SKIA_POLICY") {
             skia_cfg.index_policy = match p.as_str() {
@@ -33,11 +43,12 @@ fn main() {
                 _ => skia_core::IndexPolicy::First,
             };
         }
-        let skia = w.run(
+        let skia = w.run_emit(
             skia_frontend::FrontendConfig::alder_lake_like()
                 .with_btb_entries(8192)
                 .with_skia(skia_cfg),
             steps,
+            &mut em,
         );
         let sk = skia.skia.as_ref().expect("skia stats");
         println!(
@@ -85,11 +96,12 @@ fn main() {
             // capacity or shadow-decode opportunity.
             let mut huge = skia_core::SkiaConfig::default();
             huge.sbb = huge.sbb.scaled(100.0);
-            let ceiling = w.run(
+            let ceiling = w.run_emit(
                 skia_frontend::FrontendConfig::alder_lake_like()
                     .with_btb_entries(8192)
                     .with_skia(huge),
                 steps,
+                &mut em,
             );
             println!(
                 "    ceiling: rescues/KI={:.2} (rescuable/KI={:.2}, seenBefore/KI={:.2})",
@@ -99,4 +111,5 @@ fn main() {
             );
         }
     }
+    em.finish();
 }

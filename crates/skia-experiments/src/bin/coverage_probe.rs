@@ -8,13 +8,14 @@
 
 use std::collections::{HashMap, HashSet};
 
-use skia_experiments::{steps_from_env, Workload};
+use skia_experiments::{steps_from_env, JsonEmitter, Workload};
 use skia_frontend::FrontendConfig;
 use skia_workloads::Walker;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "tpcc".into());
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
     let w = Workload::by_name(&name);
     let program = &w.program;
 
@@ -22,11 +23,17 @@ fn main() {
     let mut exec_count: HashMap<u64, u64> = HashMap::new();
     let mut taken_exits: HashMap<u64, u64> = HashMap::new(); // branch end pc -> count
     let mut entries: HashMap<u64, u64> = HashMap::new(); // block entered by taken branch
-    let walker = Walker::new(program, w.profile.trace_seed, w.profile.spec.mean_trip_count);
+    let walker = Walker::new(
+        program,
+        w.profile.trace_seed,
+        w.profile.spec.mean_trip_count,
+    );
     for step in walker.take(steps) {
         *exec_count.entry(step.block_start).or_default() += 1;
         if step.taken {
-            *taken_exits.entry(step.branch_pc + u64::from(step.branch_len)).or_default() += 1;
+            *taken_exits
+                .entry(step.branch_pc + u64::from(step.branch_len))
+                .or_default() += 1;
             *entries.entry(step.next_pc).or_default() += 1;
         }
     }
@@ -34,7 +41,7 @@ fn main() {
     // Pass 2: simulate baseline, recording distinct rescuable missing PCs.
     let mut sim_cfg = FrontendConfig::alder_lake_like().with_btb_entries(8192);
     sim_cfg.skia = Some(skia_core::SkiaConfig::default());
-    let stats = w.run(sim_cfg, steps);
+    let stats = w.run_emit(sim_cfg, steps, &mut em);
 
     // Index hot exits/entries by cache line for O(1) classification.
     let hot_n = 8;
@@ -47,7 +54,10 @@ fn main() {
     let mut hot_entries_by_line: HashMap<u64, Vec<u64>> = HashMap::new();
     for (&entry, &n) in &entries {
         if n >= hot_n {
-            hot_entries_by_line.entry(entry & !63).or_default().push(entry);
+            hot_entries_by_line
+                .entry(entry & !63)
+                .or_default()
+                .push(entry);
         }
     }
 
@@ -84,11 +94,7 @@ fn main() {
         }
     }
 
-    let seen = stats
-        .skia
-        .as_ref()
-        .map(|_| 0)
-        .unwrap_or(0);
+    let seen = stats.skia.as_ref().map(|_| 0).unwrap_or(0);
     let _ = seen;
     let _: HashSet<u64> = HashSet::new();
 
@@ -114,4 +120,5 @@ fn main() {
         stats.rescuable_seen_before as f64 * 1000.0 / stats.instructions as f64,
         stats.sbb_rescues as f64 * 1000.0 / stats.instructions as f64,
     );
+    em.finish();
 }

@@ -5,11 +5,12 @@
 //! Paper's headline observation: at 8K entries ~75% of BTB misses are
 //! resident in the L1-I.
 
-use skia_experiments::{f2, pct, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{f2, pct, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
     let sizes = [1024usize, 2048, 4096, 8192, 16384];
 
     println!("# Figure 1: BTB MPKI and L1-I-resident fraction vs BTB size\n");
@@ -26,7 +27,7 @@ fn main() {
         let mut res_sum = 0.0;
         for name in PAPER_BENCHMARKS {
             let w = Workload::by_name(name);
-            let stats = w.run(StandingConfig::Btb(entries).frontend(), steps);
+            let stats = w.run_emit(StandingConfig::Btb(entries).frontend(), steps, &mut em);
             mpki_sum += stats.btb_mpki();
             res_sum += stats.btb_miss_l1i_resident_mpki();
         }
@@ -40,4 +41,5 @@ fn main() {
             pct(if mpki > 0.0 { res / mpki } else { 0.0 }),
         ]);
     }
+    em.finish();
 }

@@ -5,12 +5,13 @@
 //! Paper's shape: Skia beats spending the same 12.25 KB on BTB entries at
 //! every size until saturation near the infinite-BTB ceiling.
 
-use skia_experiments::{f2, geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{f2, geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_frontend::SimStats;
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
     let sizes = [4096usize, 8192, 16384, 32768];
 
     // Reference: 4K-entry plain BTB per benchmark.
@@ -20,7 +21,7 @@ fn main() {
         .collect();
     let reference: Vec<SimStats> = workloads
         .iter()
-        .map(|w| w.run(StandingConfig::Btb(4096).frontend(), steps))
+        .map(|w| w.run_emit(StandingConfig::Btb(4096).frontend(), steps, &mut em))
         .collect();
 
     let geo_speedup = |configs: &[SimStats]| -> f64 {
@@ -34,7 +35,7 @@ fn main() {
 
     let infinite: Vec<SimStats> = workloads
         .iter()
-        .map(|w| w.run(StandingConfig::Infinite.frontend(), steps))
+        .map(|w| w.run_emit(StandingConfig::Infinite.frontend(), steps, &mut em))
         .collect();
     let inf_speedup = geo_speedup(&infinite);
 
@@ -51,15 +52,27 @@ fn main() {
     for entries in sizes {
         let btb: Vec<SimStats> = workloads
             .iter()
-            .map(|w| w.run(StandingConfig::Btb(entries).frontend(), steps))
+            .map(|w| w.run_emit(StandingConfig::Btb(entries).frontend(), steps, &mut em))
             .collect();
         let grown: Vec<SimStats> = workloads
             .iter()
-            .map(|w| w.run(StandingConfig::BtbPlusBudget(entries).frontend(), steps))
+            .map(|w| {
+                w.run_emit(
+                    StandingConfig::BtbPlusBudget(entries).frontend(),
+                    steps,
+                    &mut em,
+                )
+            })
             .collect();
         let skia: Vec<SimStats> = workloads
             .iter()
-            .map(|w| w.run(StandingConfig::BtbPlusSkia(entries).frontend(), steps))
+            .map(|w| {
+                w.run_emit(
+                    StandingConfig::BtbPlusSkia(entries).frontend(),
+                    steps,
+                    &mut em,
+                )
+            })
             .collect();
         row(&[
             format!("{entries}"),
@@ -69,4 +82,5 @@ fn main() {
             f2(inf_speedup),
         ]);
     }
+    em.finish();
 }

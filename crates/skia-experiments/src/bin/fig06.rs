@@ -5,12 +5,13 @@
 //! OLTP workloads (voter, sibench) are call/return heavy; kafka is
 //! conditional-heavy.
 
-use skia_experiments::{row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_isa::BranchKind;
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 6: BTB misses by type (8K-entry BTB), % of each benchmark's misses\n");
     let mut header = vec!["benchmark".to_string(), "MPKI".to_string()];
@@ -20,7 +21,7 @@ fn main() {
 
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let stats = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let stats = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
         let total = stats.btb_misses.max(1) as f64;
         let mut cells = vec![name.to_string(), format!("{:.2}", stats.btb_mpki())];
         for kind in BranchKind::ALL {
@@ -31,4 +32,5 @@ fn main() {
         }
         row(&cells);
     }
+    em.finish();
 }

@@ -10,11 +10,12 @@
 //! in for the checkpointed gem5 window). Divergence between the two shows
 //! how representative the measurement window is.
 
-use skia_experiments::{f2, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
     let long_steps = steps * 4;
 
     println!("# Figure 13: L1-I MPKI, reference (long-horizon) vs measured (window)\n");
@@ -30,8 +31,8 @@ fn main() {
     let mut meas_total = 0.0;
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let reference = w.run(StandingConfig::Btb(8192).frontend(), long_steps);
-        let measured = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let reference = w.run_emit(StandingConfig::Btb(8192).frontend(), long_steps, &mut em);
+        let measured = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
         let r = reference.l1i_mpki();
         let m = measured.l1i_mpki();
         ref_total += r;
@@ -49,4 +50,5 @@ fn main() {
         "\nTotal divergence across benchmarks: {:.1}% (paper reports <18%)",
         total_div * 100.0
     );
+    em.finish();
 }

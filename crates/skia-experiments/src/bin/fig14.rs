@@ -7,11 +7,12 @@
 //! speedometer2.0) gain least; voter and sibench gain most.
 
 use skia_core::SkiaConfig;
-use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 14: IPC gain over 8K-entry (78KB) BTB\n");
     row(&[
@@ -25,8 +26,8 @@ fn main() {
     let mut speedups: Vec<[f64; 3]> = Vec::new();
     let mut bogus_uses = 0u64;
     let mut inserts = 0u64;
-    let run_variants = |w: &Workload| -> [f64; 3] {
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+    let run_variants = |w: &Workload, em: &mut JsonEmitter| -> [f64; 3] {
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, em);
         let variants = [
             SkiaConfig::head_only(),
             SkiaConfig::tail_only(),
@@ -34,11 +35,12 @@ fn main() {
         ];
         let mut out = [0.0; 3];
         for (i, v) in variants.into_iter().enumerate() {
-            let s = w.run(
+            let s = w.run_emit(
                 skia_frontend::FrontendConfig::alder_lake_like()
                     .with_btb_entries(8192)
                     .with_skia(v),
                 steps,
+                em,
             );
             out[i] = s.speedup_over(&base);
         }
@@ -47,9 +49,9 @@ fn main() {
 
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let s = run_variants(&w);
+        let s = run_variants(&w, &mut em);
         // Bogus-rate bookkeeping from the combined run.
-        let combined = w.run(StandingConfig::BtbPlusSkia(8192).frontend(), steps);
+        let combined = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
         if let Some(sk) = &combined.skia {
             bogus_uses += sk.bogus_uses;
             inserts += sk.sbb.u_inserts + sk.sbb.r_inserts;
@@ -79,10 +81,11 @@ fn main() {
     println!("\n## §6.1.4: verilator BOLT sensitivity");
     for name in ["verilator", "verilator_prebolt"] {
         let w = Workload::by_name(name);
-        let s = run_variants(&w);
+        let s = run_variants(&w, &mut em);
         println!(
             "{name:<20} combined Skia speedup {:+.2}%",
             (s[2] - 1.0) * 100.0
         );
     }
+    em.finish();
 }

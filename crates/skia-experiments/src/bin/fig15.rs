@@ -2,11 +2,12 @@
 //! missing branch's cache line was L1-I-resident at prediction time
 //! (8K-entry BTB).
 
-use skia_experiments::{f2, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 15: BTB misses with L1-I-resident lines (8K BTB)\n");
     row(&[
@@ -22,7 +23,7 @@ fn main() {
     let mut miss_total = 0u64;
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let s = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let s = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
         res_total += s.btb_miss_l1i_resident;
         miss_total += s.btb_misses;
         row(&[
@@ -38,4 +39,5 @@ fn main() {
          (paper: ~75% at 8K entries)",
         res_total as f64 * 100.0 / miss_total.max(1) as f64
     );
+    em.finish();
 }

@@ -7,11 +7,12 @@
 //! though the BTB still missed, so the Skia column reports *effective*
 //! misses (misses that actually disturbed the front-end).
 
-use skia_experiments::{f2, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 16: BTB miss MPKI per benchmark (8K baseline)\n");
     row(&[
@@ -25,11 +26,15 @@ fn main() {
     let mut sums = [0.0f64; 3];
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
-        let grown = w.run(StandingConfig::BtbPlusBudget(8192).frontend(), steps);
-        let skia = w.run(StandingConfig::BtbPlusSkia(8192).frontend(), steps);
-        let effective = (skia.btb_misses - skia.sbb_rescues) as f64 * 1000.0
-            / skia.instructions as f64;
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
+        let grown = w.run_emit(
+            StandingConfig::BtbPlusBudget(8192).frontend(),
+            steps,
+            &mut em,
+        );
+        let skia = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
+        let effective =
+            (skia.btb_misses - skia.sbb_rescues) as f64 * 1000.0 / skia.instructions as f64;
         sums[0] += base.btb_mpki();
         sums[1] += grown.btb_mpki();
         sums[2] += effective;
@@ -53,4 +58,5 @@ fn main() {
         (1.0 - sums[1] / sums[0]) * 100.0,
         (1.0 - sums[2] / sums[0]) * 100.0
     );
+    em.finish();
 }

@@ -5,22 +5,22 @@
 //! paper's preferred U:R entry ratio, to find the saturation point.
 
 use skia_core::{SbbConfig, SkiaConfig};
-use skia_experiments::{geomean, row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_frontend::FrontendConfig;
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
-fn geo_speedup(sbb: SbbConfig, steps: usize) -> f64 {
+fn geo_speedup(sbb: SbbConfig, steps: usize, em: &mut JsonEmitter) -> f64 {
     let mut ratios = Vec::new();
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, em);
         let cfg = FrontendConfig::alder_lake_like()
             .with_btb_entries(8192)
             .with_skia(SkiaConfig {
                 sbb,
                 ..SkiaConfig::default()
             });
-        let s = w.run(cfg, steps);
+        let s = w.run_emit(cfg, steps, em);
         ratios.push(s.speedup_over(&base));
     }
     (geomean(ratios) - 1.0) * 100.0
@@ -28,6 +28,7 @@ fn geo_speedup(sbb: SbbConfig, steps: usize) -> f64 {
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 17 (top): U-SBB/R-SBB split at constant 12.25 KB\n");
     row(&[
@@ -39,7 +40,7 @@ fn main() {
     row(&vec!["---".to_string(); 4]);
     for share in [0.2, 0.4, 7.3125 / 12.25, 0.8] {
         let sbb = SbbConfig::with_budget(12.25, share, 4);
-        let s = geo_speedup(sbb, steps);
+        let s = geo_speedup(sbb, steps, &mut em);
         row(&[
             format!("{:.0}%", share * 100.0),
             format!("{}", sbb.u_entries),
@@ -57,11 +58,12 @@ fn main() {
     row(&vec!["---".to_string(); 3]);
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let sbb = SbbConfig::default().scaled(factor);
-        let s = geo_speedup(sbb, steps);
+        let s = geo_speedup(sbb, steps, &mut em);
         row(&[
             format!("{factor}x"),
             format!("{:.2}", sbb.storage_kb()),
             format!("{s:+.2}%"),
         ]);
     }
+    em.finish();
 }

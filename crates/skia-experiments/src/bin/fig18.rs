@@ -4,11 +4,12 @@
 //! Paper's shape: voter and sibench show the largest reductions thanks to
 //! their high direct-call/return frequency (§6.3).
 
-use skia_experiments::{row, steps_from_env, StandingConfig, Workload};
+use skia_experiments::{row, steps_from_env, JsonEmitter, StandingConfig, Workload};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
+    let mut em = JsonEmitter::from_args();
 
     println!("# Figure 18: decoder idle-cycle reduction with Skia (8K BTB)\n");
     row(&[
@@ -21,8 +22,8 @@ fn main() {
 
     for name in PAPER_BENCHMARKS {
         let w = Workload::by_name(name);
-        let base = w.run(StandingConfig::Btb(8192).frontend(), steps);
-        let skia = w.run(StandingConfig::BtbPlusSkia(8192).frontend(), steps);
+        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
+        let skia = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
         let b = base.decoder_idle_cycles() as f64 * 1000.0 / base.instructions as f64;
         let s = skia.decoder_idle_cycles() as f64 * 1000.0 / skia.instructions as f64;
         row(&[
@@ -32,4 +33,5 @@ fn main() {
             format!("{:+.2}%", (1.0 - s / b.max(1e-9)) * 100.0),
         ]);
     }
+    em.finish();
 }

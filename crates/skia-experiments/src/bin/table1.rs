@@ -25,11 +25,21 @@ fn main() {
     ]);
     row(&[
         "Private L2 Cache".into(),
-        format!("{}KB ({}-way, {}B)", h.l2.size_bytes / 1024, h.l2.ways, h.l2.line_bytes),
+        format!(
+            "{}KB ({}-way, {}B)",
+            h.l2.size_bytes / 1024,
+            h.l2.ways,
+            h.l2.line_bytes
+        ),
     ]);
     row(&[
         "Shared L3 Cache".into(),
-        format!("{}KB ({}-way, {}B)", h.l3.size_bytes / 1024, h.l3.ways, h.l3.line_bytes),
+        format!(
+            "{}KB ({}-way, {}B)",
+            h.l3.size_bytes / 1024,
+            h.l3.ways,
+            h.l3.line_bytes
+        ),
     ]);
     row(&[
         "Branch Predictor".into(),
@@ -38,7 +48,12 @@ fn main() {
     match c.btb {
         BtbMode::Finite(b) => row(&[
             "BTB Size".into(),
-            format!("{}-entry / {:.0}KB ({}-way)", b.entries, b.storage_kb(), b.ways),
+            format!(
+                "{}-entry / {:.0}KB ({}-way)",
+                b.entries,
+                b.storage_kb(),
+                b.ways
+            ),
         ]),
         BtbMode::Infinite => row(&["BTB Size".into(), "infinite".into()]),
     }

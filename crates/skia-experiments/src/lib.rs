@@ -6,8 +6,11 @@
 //! common machinery: workload caching, configuration construction, and
 //! report formatting.
 
+use std::path::PathBuf;
+
 use skia_core::SkiaConfig;
 use skia_frontend::{FrontendConfig, SimStats, Simulator};
+use skia_telemetry::{Snapshot, TraceConfig};
 use skia_workloads::{profile, Profile, Program, Walker};
 
 pub use skia_frontend::stats::geomean;
@@ -62,6 +65,138 @@ impl Workload {
         .take(steps);
         let mut sim = Simulator::new(&self.program, config);
         sim.run(trace)
+    }
+
+    /// Run one simulation and also export the full telemetry [`Snapshot`]
+    /// (every registry counter, histograms, and — when `trace_config` is
+    /// `Some` — the sampled event trace).
+    #[must_use]
+    pub fn run_instrumented(
+        &self,
+        config: FrontendConfig,
+        steps: usize,
+        trace_config: Option<TraceConfig>,
+    ) -> (SimStats, Snapshot) {
+        let trace = Walker::new(
+            &self.program,
+            self.profile.trace_seed,
+            self.profile.spec.mean_trip_count,
+        )
+        .take(steps);
+        skia_frontend::run_instrumented(&self.program, config, trace_config, trace)
+    }
+
+    /// Run one simulation, recording its telemetry into `emitter` when the
+    /// binary was invoked with `--emit-json <path>` (a plain [`Workload::run`]
+    /// otherwise).
+    #[must_use]
+    pub fn run_emit(
+        &self,
+        config: FrontendConfig,
+        steps: usize,
+        emitter: &mut JsonEmitter,
+    ) -> SimStats {
+        match emitter.trace_config() {
+            None => self.run(config, steps),
+            tc => {
+                let (stats, snapshot) = self.run_instrumented(config, steps, tc);
+                emitter.record(&snapshot);
+                stats
+            }
+        }
+    }
+}
+
+/// `--emit-json <path>` handling for the experiment binaries.
+///
+/// When the flag is present, every [`Workload::run_emit`] call runs
+/// instrumented (with a sampled event trace) and its snapshot is merged into
+/// an aggregate; [`JsonEmitter::finish`] serializes the aggregate through
+/// serde to `<path>` (conventionally under `results/`). Without the flag the
+/// emitter is inert and `run_emit` degrades to a plain run.
+#[derive(Debug, Default)]
+pub struct JsonEmitter {
+    path: Option<PathBuf>,
+    merged: Snapshot,
+    runs: u64,
+}
+
+impl JsonEmitter {
+    /// Event-trace sampling used by instrumented experiment runs: keep one
+    /// event in 64, up to 16K events — enough to characterize the run
+    /// without letting the ring dominate memory or the output file.
+    pub const TRACE: TraceConfig = TraceConfig {
+        capacity: 16 * 1024,
+        sample_every: 64,
+    };
+
+    /// Build an emitter from the process arguments (`--emit-json <path>` or
+    /// `--emit-json=<path>`). Unknown arguments are ignored — figure
+    /// binaries have no other flags.
+    #[must_use]
+    pub fn from_args() -> JsonEmitter {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--emit-json" {
+                path = args.next().map(PathBuf::from);
+                if path.is_none() {
+                    eprintln!("warning: --emit-json given without a path; telemetry disabled");
+                }
+            } else if let Some(p) = a.strip_prefix("--emit-json=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        if path.as_ref().is_some_and(|p| p.as_os_str().is_empty()) {
+            eprintln!("warning: --emit-json= with an empty path; telemetry disabled");
+            path = None;
+        }
+        JsonEmitter {
+            path,
+            merged: Snapshot::default(),
+            runs: 0,
+        }
+    }
+
+    /// Whether `--emit-json` was given.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The trace configuration instrumented runs should use (`None` when
+    /// emission is disabled).
+    #[must_use]
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.enabled().then_some(Self::TRACE)
+    }
+
+    /// Merge one run's snapshot into the aggregate.
+    pub fn record(&mut self, snapshot: &Snapshot) {
+        self.merged.merge(snapshot);
+        self.runs += 1;
+    }
+
+    /// Write the aggregate snapshot as JSON. No-op when disabled; panics on
+    /// I/O errors (an experiment asked for a file it cannot have).
+    pub fn finish(&mut self) {
+        let Some(path) = &self.path else { return };
+        self.merged
+            .counters
+            .insert("emit.runs_merged".into(), self.runs);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+            }
+        }
+        let json = self.merged.to_json_string();
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!(
+            "telemetry: merged snapshot of {} run(s) written to {}",
+            self.runs,
+            path.display()
+        );
     }
 }
 

@@ -257,6 +257,7 @@ impl Bpu {
     /// `recorded` carries the prediction records when this branch was
     /// actually predicted (case C); for branches the BPU never saw, fresh
     /// prediction records are computed at the (identical) history point.
+    #[allow(clippy::too_many_arguments)] // one argument per retired-branch attribute
     pub fn commit_branch(
         &mut self,
         pc: u64,
@@ -342,19 +343,22 @@ impl Bpu {
 
     /// Run Skia's shadow-decode hooks for a formed block whose prefetch has
     /// completed (paper: SBD runs off the critical path once the line is
-    /// L1-I-resident). Branches already BTB-resident are filtered.
-    pub fn shadow_decode(&mut self, program: &Program, block: &PredictedBlock) {
-        let Some(skia) = &mut self.skia else { return };
+    /// L1-I-resident). Branches already BTB-resident are filtered. Returns
+    /// the number of shadow branches inserted into the SBB (the
+    /// shadow-decode batch size, recorded by telemetry).
+    pub fn shadow_decode(&mut self, program: &Program, block: &PredictedBlock) -> usize {
+        let Some(skia) = &mut self.skia else { return 0 };
         let filter = skia.config().filter_btb_resident;
         let btb = &self.btb;
         let known = |pc: u64| filter && btb.probe(pc).is_some();
+        let mut inserted = 0;
         // Head region: the line containing the block's entry point, when the
         // block was entered via a taken branch mid-line.
         if block.entered_by_branch {
             let entry_offset = (block.start % 64) as usize;
             if entry_offset != 0 {
                 let (line_base, line) = program.line(block.start);
-                skia.on_line_entered_filtered(&line, line_base, entry_offset, known);
+                inserted += skia.on_line_entered_filtered(&line, line_base, entry_offset, known);
             }
         }
         // Tail region: the line containing the taken branch's last byte,
@@ -365,10 +369,11 @@ impl Bpu {
                 let (line_base, line) = program.line(end.saturating_sub(1));
                 let exit_offset = (end - line_base) as usize;
                 if exit_offset < line.len() {
-                    skia.on_line_exited_filtered(&line, line_base, exit_offset, known);
+                    inserted += skia.on_line_exited_filtered(&line, line_base, exit_offset, known);
                 }
             }
         }
+        inserted
     }
 
     /// TAGE `(predictions, mispredictions)`.
@@ -429,7 +434,15 @@ mod tests {
     fn call_and_return_use_the_ras() {
         let mut b = bpu();
         // Commit a call at 0x1010 (len 5) and a ret at 0x2000.
-        b.commit_branch(0x1010, BranchKind::Call, true, 0x2000, Some(0x2000), 5, None);
+        b.commit_branch(
+            0x1010,
+            BranchKind::Call,
+            true,
+            0x2000,
+            Some(0x2000),
+            5,
+            None,
+        );
         b.commit_branch(0x2000, BranchKind::Return, true, 0x1015, None, 1, None);
         // Second round: predict the call, then the return target comes from
         // the RAS pushed by the committed call.
@@ -437,7 +450,15 @@ mod tests {
         let call_blk = b.predict_block();
         assert_eq!(call_blk.branch.unwrap().kind, BranchKind::Call);
         // Model the call committing (pushes 0x1015).
-        b.commit_branch(0x1010, BranchKind::Call, true, 0x2000, Some(0x2000), 5, None);
+        b.commit_branch(
+            0x1010,
+            BranchKind::Call,
+            true,
+            0x2000,
+            Some(0x2000),
+            5,
+            None,
+        );
         let ret_blk = b.predict_block();
         let ret = ret_blk.branch.unwrap();
         assert_eq!(ret.kind, BranchKind::Return);

@@ -105,7 +105,10 @@ impl FrontendConfig {
     #[must_use]
     pub fn test_small() -> Self {
         FrontendConfig {
-            btb: BtbMode::Finite(BtbConfig { entries: 256, ways: 4 }),
+            btb: BtbMode::Finite(BtbConfig {
+                entries: 256,
+                ways: 4,
+            }),
             tage: TageConfig::small(),
             ittage: IttageParams {
                 tables: 3,

@@ -37,11 +37,13 @@ pub mod bpu;
 pub mod config;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 
 pub use bpu::{Bpu, PredictedBlock, PredictedBranch};
 pub use config::{BtbMode, FrontendConfig};
 pub use sim::Simulator;
 pub use stats::SimStats;
+pub use telemetry::{FrontendTelemetry, SimCounters};
 
 /// Run a complete simulation: generate nothing, just wire a program, a trace
 /// and a configuration together.
@@ -66,4 +68,27 @@ pub fn run(
 ) -> SimStats {
     let mut sim = Simulator::new(program, config);
     sim.run(trace)
+}
+
+/// Like [`run`], but also export the full telemetry [`Snapshot`] — every
+/// registry counter, the standing histograms, and (when `trace_config` is
+/// `Some`) the sampled event trace.
+///
+/// The returned [`SimStats`] and the snapshot's counters are materialized
+/// from the same registry cells, so they agree by construction.
+///
+/// [`Snapshot`]: skia_telemetry::Snapshot
+pub fn run_instrumented(
+    program: &skia_workloads::Program,
+    config: FrontendConfig,
+    trace_config: Option<skia_telemetry::TraceConfig>,
+    trace: impl Iterator<Item = skia_workloads::TraceStep>,
+) -> (SimStats, skia_telemetry::Snapshot) {
+    let mut sim = Simulator::new(program, config);
+    if let Some(tc) = trace_config {
+        sim.enable_trace(tc);
+    }
+    let stats = sim.run(trace);
+    let snapshot = sim.snapshot();
+    (stats, snapshot)
 }

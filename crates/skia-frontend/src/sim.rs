@@ -8,16 +8,24 @@
 //! wrong-path blocks the IAG would have formed in the detection shadow are
 //! actually formed and their lines actually prefetched, so L1-I pollution by
 //! wrong-path FDIP traffic is mechanistic.
+//!
+//! Every counter lives in a [`MetricRegistry`] owned by the simulator; the
+//! hot path increments plain-cell [`skia_telemetry::Counter`] handles (see
+//! [`crate::telemetry`]) and [`SimStats`] is materialized from the registry
+//! on demand, so the legacy stats struct and the exported snapshot are the
+//! same numbers by construction.
 
 use std::collections::VecDeque;
 
 use skia_isa::BranchKind;
+use skia_telemetry::{EventKind, EventTrace, MetricRegistry, Snapshot, TraceConfig};
 use skia_uarch::cache::Hierarchy;
 use skia_workloads::{Program, TraceStep};
 
 use crate::bpu::{Bpu, PredictedBlock};
 use crate::config::FrontendConfig;
 use crate::stats::{ResteerCause, ResteerStage, SimStats};
+use crate::telemetry::FrontendTelemetry;
 
 /// Average x86 instruction length assumed when estimating decode occupancy
 /// of a byte range (retirement counts are exact; this only shapes decode
@@ -41,13 +49,12 @@ pub struct Simulator<'p> {
     config: FrontendConfig,
     bpu: Bpu,
     hier: Hierarchy,
-    stats: SimStats,
+    registry: MetricRegistry,
+    tel: FrontendTelemetry,
     iag_cycle: u64,
     decode_free: u64,
     /// Decode-completion times of in-flight FTQ entries.
     ftq: VecDeque<u64>,
-    ftq_occupancy_sum: u64,
-    ftq_samples: u64,
     pending: Option<InFlight>,
     /// Fill-completion cycle of the most recent `prefetch_lines` call.
     last_fill_done: u64,
@@ -59,29 +66,46 @@ impl<'p> Simulator<'p> {
     #[must_use]
     pub fn new(program: &'p Program, config: FrontendConfig) -> Self {
         let start = program.functions()[0].entry;
+        let mut registry = MetricRegistry::new();
+        let tel = FrontendTelemetry::register(&mut registry);
+        let mut bpu = Bpu::new(&config, start);
+        if let Some(skia) = &mut bpu.skia {
+            skia.attach_telemetry(tel.sbb_lifetime.clone(), None);
+        }
         Simulator {
-            bpu: Bpu::new(&config, start),
+            bpu,
             hier: Hierarchy::new(config.hierarchy),
             program,
             config,
-            stats: SimStats::default(),
+            registry,
+            tel,
             iag_cycle: 0,
             decode_free: 0,
             ftq: VecDeque::new(),
-            ftq_occupancy_sum: 0,
-            ftq_samples: 0,
             pending: None,
             last_fill_done: 0,
         }
     }
 
+    /// Turn on event tracing (resteers, SBB traffic, BTB misses, prefetch
+    /// issues, shadow decodes) and return the trace handle. Idempotent: a
+    /// second call returns the existing trace.
+    pub fn enable_trace(&mut self, config: TraceConfig) -> EventTrace {
+        let trace = self.registry.enable_trace(config);
+        self.tel.trace = Some(trace.clone());
+        if let Some(skia) = &mut self.bpu.skia {
+            skia.attach_telemetry(self.tel.sbb_lifetime.clone(), Some(trace.clone()));
+        }
+        trace
+    }
+
     /// Replay a trace to completion and return the statistics.
     pub fn run(&mut self, trace: impl Iterator<Item = TraceStep>) -> SimStats {
         for step in trace {
-            self.stats.branches += 1;
-            self.stats.instructions += u64::from(step.insns);
+            self.tel.c.branches.inc();
+            self.tel.c.instructions.add(u64::from(step.insns));
             if step.taken {
-                self.stats.taken_branches += 1;
+                self.tel.c.taken_branches.inc();
             }
             self.verify_step(&step);
         }
@@ -89,20 +113,61 @@ impl<'p> Simulator<'p> {
     }
 
     fn finalize(&mut self) -> SimStats {
-        let retire_floor =
-            self.stats.instructions.div_ceil(u64::from(self.config.retire_width));
-        self.stats.cycles =
-            self.decode_free.max(retire_floor) + u64::from(self.config.backend_depth);
-        self.stats.l1i = self.hier.l1i_stats();
-        self.stats.l2 = self.hier.l2_stats();
-        self.stats.l3 = self.hier.l3_stats();
-        self.stats.skia = self.bpu.skia.as_ref().map(|s| s.stats());
-        self.stats.mean_ftq_occupancy = if self.ftq_samples == 0 {
-            0.0
-        } else {
-            self.ftq_occupancy_sum as f64 / self.ftq_samples as f64
-        };
-        self.stats.clone()
+        let retire_floor = self
+            .tel
+            .c
+            .instructions
+            .get()
+            .div_ceil(u64::from(self.config.retire_width));
+        let cycles = self.decode_free.max(retire_floor) + u64::from(self.config.backend_depth);
+        self.tel.c.cycles.set(cycles);
+        self.stats()
+    }
+
+    /// Materialize the current counters into a [`SimStats`]. `cycles` is 0
+    /// until the run finalizes (as before the registry existed).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut stats = SimStats::default();
+        self.tel.c.materialize_into(&mut stats);
+        for (i, c) in self.tel.btb_miss_by_kind.iter().enumerate() {
+            stats.btb_misses_by_kind[i] = c.get();
+        }
+        stats.l1i = self.hier.l1i_stats();
+        stats.l2 = self.hier.l2_stats();
+        stats.l3 = self.hier.l3_stats();
+        stats.skia = self.bpu.skia.as_ref().map(|s| s.stats());
+        stats.mean_ftq_occupancy = self.tel.ftq_occupancy.snapshot().mean();
+        stats
+    }
+
+    /// Export the pull-model component stats (cache levels, predictors,
+    /// Skia) into the registry and materialize everything into a
+    /// [`Snapshot`] — the `--emit-json` payload.
+    #[must_use]
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.hier
+            .l1i_stats()
+            .register_into(&mut self.registry, "l1i");
+        self.hier.l2_stats().register_into(&mut self.registry, "l2");
+        self.hier.l3_stats().register_into(&mut self.registry, "l3");
+        let (tage_preds, tage_miss) = self.bpu.tage_stats();
+        self.registry.set_counter("tage.predictions", tage_preds);
+        self.registry.set_counter("tage.mispredictions", tage_miss);
+        if let Some(skia) = &self.bpu.skia {
+            skia.stats().register_into(&mut self.registry);
+        }
+        let stats = self.stats();
+        self.registry
+            .set_gauge("sim.mean_ftq_occupancy", stats.mean_ftq_occupancy);
+        self.registry.set_gauge("sim.ipc", stats.ipc());
+        self.registry.snapshot()
+    }
+
+    /// The metric registry (e.g. to register experiment-level metrics into
+    /// the same snapshot).
+    pub fn registry_mut(&mut self) -> &mut MetricRegistry {
+        &mut self.registry
     }
 
     // -- block formation & timing ------------------------------------------
@@ -118,8 +183,7 @@ impl<'p> Simulator<'p> {
             self.iag_cycle = self.iag_cycle.max(head);
         }
         self.iag_cycle += 1;
-        self.ftq_occupancy_sum += self.ftq.len() as u64;
-        self.ftq_samples += 1;
+        self.tel.ftq_occupancy.record(self.ftq.len() as u64);
 
         let block = self.bpu.predict_block();
         self.issue_block(block)
@@ -129,24 +193,28 @@ impl<'p> Simulator<'p> {
     fn issue_block(&mut self, block: PredictedBlock) -> InFlight {
         let lines = self.prefetch_lines(&block);
         let fill_done = self.last_fill_done;
-        let frontier = (self.iag_cycle + u64::from(self.config.fetch_to_decode))
-            .max(self.decode_free);
+        let frontier =
+            (self.iag_cycle + u64::from(self.config.fetch_to_decode)).max(self.decode_free);
         if frontier > self.decode_free {
-            self.stats.idle_resteer_cycles += frontier - self.decode_free;
+            self.tel
+                .c
+                .idle_resteer_cycles
+                .add(frontier - self.decode_free);
         }
         let decode_start = frontier.max(fill_done);
         if decode_start > frontier {
-            self.stats.idle_icache_cycles += decode_start - frontier;
+            self.tel.c.idle_icache_cycles.add(decode_start - frontier);
         }
         let bytes = block.end.saturating_sub(block.start).max(1);
-        let decode_cycles =
-            bytes.div_ceil(u64::from(self.config.decode_width) * AVG_INSN_BYTES).max(1);
-        self.stats.decode_busy_cycles += decode_cycles;
+        let decode_cycles = bytes
+            .div_ceil(u64::from(self.config.decode_width) * AVG_INSN_BYTES)
+            .max(1);
+        self.tel.c.decode_busy_cycles.add(decode_cycles);
         self.decode_free = decode_start + decode_cycles;
         self.ftq.push_back(self.decode_free);
 
         // Shadow decoding runs off the critical path once lines are present.
-        self.bpu.shadow_decode(self.program, &block);
+        self.shadow_decode(&block);
 
         InFlight {
             block,
@@ -154,6 +222,25 @@ impl<'p> Simulator<'p> {
             decode_start,
             lines,
         }
+    }
+
+    /// Drive the Skia shadow-decode hooks for a formed block and record the
+    /// batch-size histogram + event.
+    fn shadow_decode(&mut self, block: &PredictedBlock) {
+        if self.bpu.skia.is_none() {
+            return;
+        }
+        if let Some(skia) = &mut self.bpu.skia {
+            skia.set_cycle(self.iag_cycle);
+        }
+        let inserted = self.bpu.shadow_decode(self.program, block) as u64;
+        self.tel.shadow_batch.record(inserted);
+        self.tel.event(
+            self.iag_cycle,
+            EventKind::ShadowDecode,
+            block.start,
+            inserted,
+        );
     }
 
     /// Issue the FDIP prefetches for a block's line range. Returns the
@@ -170,6 +257,8 @@ impl<'p> Simulator<'p> {
             let lat = self.hier.fetch_line(la, true);
             max_latency = max_latency.max(lat);
             lines.push((la, resident));
+            self.tel
+                .event(self.iag_cycle, EventKind::PrefetchIssue, la, u64::from(lat));
             if la >= last {
                 break;
             }
@@ -187,7 +276,7 @@ impl<'p> Simulator<'p> {
                 Some(p) => p,
                 None => self.form_block(),
             };
-            let branch = pending.block.branch.clone();
+            let branch = pending.block.branch;
             match branch {
                 None => {
                     if step.branch_pc >= pending.block.end {
@@ -235,7 +324,9 @@ impl<'p> Simulator<'p> {
                     self.commit_aligned(step, &b);
                     if correct {
                         if b.from_sbb {
-                            self.stats.sbb_rescues += 1;
+                            self.tel.c.sbb_rescues.inc();
+                            self.tel
+                                .event(self.iag_cycle, EventKind::SbbRescue, step.branch_pc, 0);
                         }
                         return;
                     }
@@ -246,10 +337,10 @@ impl<'p> Simulator<'p> {
                         ResteerCause::Target
                     };
                     match step.kind {
-                        BranchKind::DirectCond => self.stats.cond_mispredicts += 1,
-                        BranchKind::Return => self.stats.return_mispredicts += 1,
+                        BranchKind::DirectCond => self.tel.c.cond_mispredicts.inc(),
+                        BranchKind::Return => self.tel.c.return_mispredicts.inc(),
                         BranchKind::IndirectJmp | BranchKind::IndirectCall => {
-                            self.stats.indirect_mispredicts += 1;
+                            self.tel.c.indirect_mispredicts.inc();
                         }
                         _ => {}
                     }
@@ -274,9 +365,9 @@ impl<'p> Simulator<'p> {
 
     fn kind_counters(&mut self, kind: BranchKind) {
         match kind {
-            BranchKind::DirectCond => self.stats.cond_branches += 1,
+            BranchKind::DirectCond => self.tel.c.cond_branches.inc(),
             BranchKind::IndirectJmp | BranchKind::IndirectCall => {
-                self.stats.indirect_branches += 1;
+                self.tel.c.indirect_branches.inc();
             }
             _ => {}
         }
@@ -320,23 +411,29 @@ impl<'p> Simulator<'p> {
         if self.bpu.btb_resident(step.branch_pc) {
             return;
         }
-        self.stats.btb_misses += 1;
+        self.tel.c.btb_misses.inc();
         let idx = BranchKind::ALL
             .iter()
             .position(|&k| k == step.kind)
             .expect("kind in table");
-        self.stats.btb_misses_by_kind[idx] += 1;
+        self.tel.btb_miss_by_kind[idx].inc();
+        self.tel.event(
+            self.iag_cycle,
+            EventKind::BtbMiss,
+            step.branch_pc,
+            idx as u64,
+        );
         if step.taken {
-            self.stats.btb_miss_taken += 1;
+            self.tel.c.btb_miss_taken.inc();
             if step.kind.sbb_eligible() {
-                self.stats.btb_miss_rescuable += 1;
+                self.tel.c.btb_miss_rescuable.inc();
                 if self
                     .bpu
                     .skia
                     .as_ref()
                     .is_some_and(|s| s.ever_inserted(step.branch_pc))
                 {
-                    self.stats.rescuable_seen_before += 1;
+                    self.tel.c.rescuable_seen_before.inc();
                 }
             }
         }
@@ -347,7 +444,7 @@ impl<'p> Simulator<'p> {
             .find(|&&(a, _)| a == la)
             .map_or_else(|| self.hier.l1i_contains(step.branch_pc), |&(_, r)| r);
         if resident_before {
-            self.stats.btb_miss_l1i_resident += 1;
+            self.tel.c.btb_miss_l1i_resident.inc();
         }
     }
 
@@ -364,14 +461,14 @@ impl<'p> Simulator<'p> {
                 if self.bpu.ras_top_is(step.next_pc) {
                     ResteerStage::Decode
                 } else {
-                    self.stats.return_mispredicts += 1;
+                    self.tel.c.return_mispredicts.inc();
                     ResteerStage::Execute
                 }
             }
             // The decoder identifies a conditional; a decode-time late
             // predict rescues it only if TAGE agrees it is taken.
             BranchKind::DirectCond => {
-                self.stats.cond_mispredicts += 1;
+                self.tel.c.cond_mispredicts.inc();
                 if self.bpu.tage_would_predict(step.branch_pc, true) {
                     ResteerStage::Decode
                 } else {
@@ -383,7 +480,7 @@ impl<'p> Simulator<'p> {
                 if self.bpu.ittage_would_predict(step.branch_pc, step.next_pc) {
                     ResteerStage::Decode
                 } else {
-                    self.stats.indirect_mispredicts += 1;
+                    self.tel.c.indirect_mispredicts.inc();
                     ResteerStage::Execute
                 }
             }
@@ -402,8 +499,9 @@ impl<'p> Simulator<'p> {
 
     /// The decoder found no branch where the SBB said there was one.
     fn resteer_bogus(&mut self, pending: &InFlight, bogus_pc: u64) {
-        self.stats.bogus_resteers += 1;
+        self.tel.c.bogus_resteers.inc();
         if let Some(skia) = &mut self.bpu.skia {
+            skia.set_cycle(self.iag_cycle);
             skia.note_bogus(bogus_pc);
         }
         // Fetch continues sequentially past the phantom branch. Resuming
@@ -431,11 +529,11 @@ impl<'p> Simulator<'p> {
         let _ = cause;
         let detect = match stage {
             ResteerStage::Decode => {
-                self.stats.decode_resteers += 1;
+                self.tel.c.decode_resteers.inc();
                 pending.decode_start + 1
             }
             ResteerStage::Execute => {
-                self.stats.exec_resteers += 1;
+                self.tel.c.exec_resteers.inc();
                 pending.decode_start + u64::from(self.config.exec_detect)
             }
         };
@@ -448,9 +546,9 @@ impl<'p> Simulator<'p> {
         for _ in 0..wp_blocks {
             let blk = self.bpu.predict_block();
             let lines = self.prefetch_lines(&blk);
-            self.stats.wrong_path_prefetches += lines.len() as u64;
-            self.stats.wrong_path_blocks += 1;
-            self.bpu.shadow_decode(self.program, &blk);
+            self.tel.c.wrong_path_prefetches.add(lines.len() as u64);
+            self.tel.c.wrong_path_blocks.inc();
+            self.shadow_decode(&blk);
         }
 
         // Repair: the IAG restarts after the signal plus the repair cycles
@@ -461,16 +559,21 @@ impl<'p> Simulator<'p> {
         self.ftq.clear();
         self.bpu.resteer(resume_pc, entered_by_branch);
         self.pending = None;
+
+        // The repair bubble: from the mispredicted block's formation to the
+        // IAG restart.
+        let repair_latency = self.iag_cycle.saturating_sub(pending.iag_cycle);
+        self.tel.resteer_latency.record(repair_latency);
+        let stage_arg = match stage {
+            ResteerStage::Decode => 0,
+            ResteerStage::Execute => 1,
+        };
+        self.tel
+            .event(detect, EventKind::Resteer, resume_pc, stage_arg);
     }
 }
 
 impl<'p> Simulator<'p> {
-    /// Read-only access to accumulated statistics mid-run.
-    #[must_use]
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
-    }
-
     /// Mutable access to the BPU (testing and fault-injection aid).
     pub fn bpu_mut(&mut self) -> &mut Bpu {
         &mut self.bpu

@@ -162,11 +162,16 @@ impl SimStats {
         self.idle_icache_cycles + self.idle_resteer_cycles
     }
 
-    /// BTB misses for one branch kind.
+    /// BTB misses for one branch kind. Returns 0 for a kind that is absent
+    /// from [`BranchKind::ALL`] (impossible today, but a table/enum skew
+    /// should read as "no misses", not a panic).
     #[must_use]
     pub fn btb_misses_of(&self, kind: BranchKind) -> u64 {
-        let idx = BranchKind::ALL.iter().position(|&k| k == kind).unwrap();
-        self.btb_misses_by_kind[idx]
+        BranchKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .and_then(|idx| self.btb_misses_by_kind.get(idx).copied())
+            .unwrap_or(0)
     }
 
     /// Speedup of `self` over a `baseline` run of the same trace.
@@ -180,12 +185,23 @@ impl SimStats {
 }
 
 /// Geometric mean of an iterator of positive ratios.
+///
+/// Non-positive or non-finite values cannot contribute to a geometric mean
+/// (their logarithm is undefined/-∞); they are skipped in release builds —
+/// rather than poisoning the whole mean with a NaN — and trip a
+/// `debug_assert` in debug builds so the bad input is caught in tests.
 #[must_use]
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        debug_assert!(v > 0.0, "geomean needs positive values");
+        debug_assert!(
+            v.is_finite() && v > 0.0,
+            "geomean needs positive finite values, got {v}"
+        );
+        if !(v.is_finite() && v > 0.0) {
+            continue;
+        }
         log_sum += v.ln();
         n += 1;
     }

@@ -1,0 +1,186 @@
+//! Telemetry wiring between the simulator and [`skia_telemetry`].
+//!
+//! The single source of truth for the counter set is the
+//! `for_each_sim_counter!` field↔name table below: it generates the
+//! [`SimCounters`] handle struct, the registration code, and the
+//! [`SimStats`] materialization, so the registry snapshot and the legacy
+//! stats struct can never drift apart. The simulator increments the handles
+//! on its hot path (one `Rc<Cell<u64>>` store each — no locks, no name
+//! lookups) and [`SimStats`] is rebuilt from the registry on demand.
+
+use skia_isa::BranchKind;
+use skia_telemetry::{Counter, EventKind, EventTrace, Histogram, MetricRegistry};
+
+use crate::stats::SimStats;
+
+/// Apply a macro to every `(SimStats u64 field, metric name)` pair.
+///
+/// `cycles` is included even though it is computed (not incremented): the
+/// simulator `set`s it during finalization so the snapshot carries it too.
+macro_rules! for_each_sim_counter {
+    ($apply:ident) => {
+        $apply! {
+            (instructions, "sim.instructions"),
+            (cycles, "sim.cycles"),
+            (branches, "sim.branches"),
+            (taken_branches, "sim.taken_branches"),
+            (btb_misses, "btb.misses"),
+            (btb_miss_l1i_resident, "btb.miss_l1i_resident"),
+            (btb_miss_taken, "btb.miss_taken"),
+            (btb_miss_rescuable, "btb.miss_rescuable"),
+            (sbb_rescues, "sbb.rescues"),
+            (rescuable_seen_before, "sbb.rescuable_seen_before"),
+            (decode_resteers, "resteer.decode"),
+            (exec_resteers, "resteer.execute"),
+            (bogus_resteers, "resteer.bogus"),
+            (cond_branches, "branch.cond"),
+            (cond_mispredicts, "branch.cond_mispredicts"),
+            (indirect_branches, "branch.indirect"),
+            (indirect_mispredicts, "branch.indirect_mispredicts"),
+            (return_mispredicts, "branch.return_mispredicts"),
+            (idle_icache_cycles, "decode.idle_icache_cycles"),
+            (idle_resteer_cycles, "decode.idle_resteer_cycles"),
+            (decode_busy_cycles, "decode.busy_cycles"),
+            (wrong_path_blocks, "wrong_path.blocks"),
+            (wrong_path_prefetches, "wrong_path.prefetches"),
+        }
+    };
+}
+
+macro_rules! define_sim_counters {
+    ($(($field:ident, $name:literal)),+ $(,)?) => {
+        /// One registered [`Counter`] handle per scalar `u64` field of
+        /// [`SimStats`].
+        #[derive(Debug, Clone)]
+        pub struct SimCounters {
+            $(
+                #[doc = concat!("Handle for `", $name, "`.")]
+                pub $field: Counter,
+            )+
+        }
+
+        impl SimCounters {
+            /// The registered metric names, in [`SimStats`] field order.
+            pub const NAMES: &'static [&'static str] = &[$($name),+];
+
+            /// Register (or look up) every counter in `reg`.
+            #[must_use]
+            pub fn register(reg: &mut MetricRegistry) -> Self {
+                SimCounters { $($field: reg.counter($name),)+ }
+            }
+
+            /// Copy the current counter values into the matching
+            /// [`SimStats`] fields.
+            pub fn materialize_into(&self, stats: &mut SimStats) {
+                $(stats.$field = self.$field.get();)+
+            }
+        }
+    };
+}
+for_each_sim_counter!(define_sim_counters);
+
+/// Metric name of the per-kind BTB-miss counter for `kind`.
+#[must_use]
+pub fn btb_miss_kind_name(kind: BranchKind) -> &'static str {
+    match kind {
+        BranchKind::DirectCond => "btb.miss_kind.direct_cond",
+        BranchKind::DirectUncond => "btb.miss_kind.direct_uncond",
+        BranchKind::Call => "btb.miss_kind.call",
+        BranchKind::Return => "btb.miss_kind.return",
+        BranchKind::IndirectJmp => "btb.miss_kind.indirect_jmp",
+        BranchKind::IndirectCall => "btb.miss_kind.indirect_call",
+    }
+}
+
+/// Every handle the simulator records through: the [`SimCounters`] set, the
+/// per-kind BTB miss breakdown, the four standing histograms, and the
+/// (optional) event trace.
+#[derive(Debug, Clone)]
+pub struct FrontendTelemetry {
+    /// Scalar counters mirroring [`SimStats`].
+    pub c: SimCounters,
+    /// BTB misses by [`BranchKind`] (order of [`BranchKind::ALL`]).
+    pub btb_miss_by_kind: [Counter; 6],
+    /// FTQ occupancy sampled at every block formation.
+    pub ftq_occupancy: Histogram,
+    /// Resteer repair bubble (cycles from the mispredicted block's formation
+    /// to the IAG restart).
+    pub resteer_latency: Histogram,
+    /// Shadow branches inserted per shadow-decode invocation.
+    pub shadow_batch: Histogram,
+    /// SBB entry residency in cycles (closed on eviction/invalidation;
+    /// recorded by `skia-core` through its attachment).
+    pub sbb_lifetime: Histogram,
+    /// Event trace handle, when tracing is enabled.
+    pub trace: Option<EventTrace>,
+}
+
+impl FrontendTelemetry {
+    /// Register every frontend metric in `reg`. Tracing starts disabled;
+    /// [`crate::Simulator::enable_trace`] turns it on.
+    #[must_use]
+    pub fn register(reg: &mut MetricRegistry) -> Self {
+        FrontendTelemetry {
+            c: SimCounters::register(reg),
+            btb_miss_by_kind: BranchKind::ALL.map(|k| reg.counter(btb_miss_kind_name(k))),
+            ftq_occupancy: reg.histogram("ftq.occupancy"),
+            resteer_latency: reg.histogram("resteer.repair_latency"),
+            shadow_batch: reg.histogram("shadow_decode.batch_size"),
+            sbb_lifetime: reg.histogram("sbb.entry_lifetime"),
+            trace: reg.trace(),
+        }
+    }
+
+    /// Record an event if tracing is enabled (one branch otherwise).
+    #[inline]
+    pub fn event(&self, cycle: u64, kind: EventKind, pc: u64, arg: u64) {
+        if let Some(t) = &self.trace {
+            t.record(cycle, kind, pc, arg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_registered() {
+        let mut reg = MetricRegistry::new();
+        let tel = FrontendTelemetry::register(&mut reg);
+        // 23 scalar + 6 per-kind counters, all distinct.
+        assert_eq!(SimCounters::NAMES.len(), 23);
+        assert_eq!(reg.counter_count(), 23 + 6);
+        tel.c.btb_misses.add(3);
+        tel.btb_miss_by_kind[0].inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("btb.misses"), Some(3));
+        assert_eq!(snap.counter("btb.miss_kind.direct_cond"), Some(1));
+        assert!(snap.histogram("ftq.occupancy").is_some());
+    }
+
+    #[test]
+    fn materialize_round_trips_every_field() {
+        let mut reg = MetricRegistry::new();
+        let tel = FrontendTelemetry::register(&mut reg);
+        // Give every counter a distinct value via its registry name.
+        for (i, name) in SimCounters::NAMES.iter().enumerate() {
+            reg.counter(name).set(100 + i as u64);
+        }
+        let mut stats = SimStats::default();
+        tel.c.materialize_into(&mut stats);
+        assert_eq!(stats.instructions, 100);
+        assert_eq!(stats.cycles, 101);
+        assert_eq!(stats.wrong_path_prefetches, 100 + 22);
+        // And the registry snapshot agrees with the struct, name by name.
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("sim.taken_branches"),
+            Some(stats.taken_branches)
+        );
+        assert_eq!(
+            snap.counter("decode.busy_cycles"),
+            Some(stats.decode_busy_cycles)
+        );
+    }
+}

@@ -116,8 +116,7 @@ fn skia_reduces_unknown_branch_resteers() {
     let with = sim(&p, skia_cfg, steps);
     assert!(with.sbb_rescues > 0, "SBB must rescue some BTB misses");
     assert!(
-        with.decode_resteers + with.exec_resteers
-            < base.decode_resteers + base.exec_resteers,
+        with.decode_resteers + with.exec_resteers < base.decode_resteers + base.exec_resteers,
         "skia {}+{} vs base {}+{}",
         with.decode_resteers,
         with.exec_resteers,

@@ -122,8 +122,14 @@ fn one_byte_attr(op: u8) -> Option<Attr> {
     use Imm::*;
     let a = match op {
         // ADD/OR/ADC/SBB/AND/SUB/XOR/CMP blocks: 8 groups of 6 opcodes.
-        0x00..=0x05 | 0x08..=0x0D | 0x10..=0x15 | 0x18..=0x1D | 0x20..=0x25 | 0x28..=0x2D
-        | 0x30..=0x35 | 0x38..=0x3D => {
+        0x00..=0x05
+        | 0x08..=0x0D
+        | 0x10..=0x15
+        | 0x18..=0x1D
+        | 0x20..=0x25
+        | 0x28..=0x2D
+        | 0x30..=0x35
+        | 0x38..=0x3D => {
             let low = op & 0x07;
             match low {
                 0x00..=0x03 => Attr::plain(true, None),
@@ -281,7 +287,12 @@ fn two_byte_attr(op: u8) -> Option<Attr> {
         // BSWAP r
         0xC8..=0xCF => Attr::plain(false, None),
         // Wide MMX/SSE integer op block
-        0xD1..=0xD5 | 0xD6 | 0xD8..=0xDF | 0xE0..=0xE5 | 0xE7..=0xEF | 0xF1..=0xF7
+        0xD1..=0xD5
+        | 0xD6
+        | 0xD8..=0xDF
+        | 0xE0..=0xE5
+        | 0xE7..=0xEF
+        | 0xF1..=0xF7
         | 0xF8..=0xFE => Attr::plain(true, None),
         _ => return Option::None,
     };
@@ -357,10 +368,7 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
                 pos += 1;
                 (Attr::plain(true, Imm::B1), true)
             }
-            _ => (
-                two_byte_attr(op1).ok_or(DecodeError::InvalidOpcode)?,
-                false,
-            ),
+            _ => (two_byte_attr(op1).ok_or(DecodeError::InvalidOpcode)?, false),
         }
     } else {
         (one_byte_attr(op0).ok_or(DecodeError::InvalidOpcode)?, false)
@@ -488,7 +496,8 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
     let rel = match (branch, imm_len) {
         (Some(k), 1) if k.is_direct() => Some(i32::from(bytes[pos] as i8)),
         (Some(k), 4) if k.is_direct() => {
-            let d = i32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            let d =
+                i32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
             Some(d)
         }
         _ => None,
@@ -633,8 +642,9 @@ mod tests {
 
     #[test]
     fn invalid_in_64bit_mode() {
-        for op in [0x06u8, 0x07, 0x0E, 0x16, 0x17, 0x27, 0x37, 0x60, 0x61, 0x9A, 0xC4, 0xC5, 0xD4, 0xEA]
-        {
+        for op in [
+            0x06u8, 0x07, 0x0E, 0x16, 0x17, 0x27, 0x37, 0x60, 0x61, 0x9A, 0xC4, 0xC5, 0xD4, 0xEA,
+        ] {
             assert_eq!(
                 decode(&[op, 0, 0, 0, 0, 0, 0]),
                 Err(DecodeError::InvalidOpcode),

@@ -209,7 +209,10 @@ pub fn format_listing(bytes: &[u8], pc: u64) -> String {
     let mut off = 0usize;
     for insn in disasm_range(bytes, pc) {
         let len = usize::from(insn.decoded.len);
-        let hex: Vec<String> = bytes[off..off + len].iter().map(|b| format!("{b:02x}")).collect();
+        let hex: Vec<String> = bytes[off..off + len]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
         let _ = writeln!(s, "{:#010x}:  {:<24} {}", insn.pc, hex.join(" "), insn.text);
         off += len;
     }

@@ -208,12 +208,20 @@ pub fn emit_nonbranch(out: &mut Vec<u8>, selector: u64) -> usize {
         }
         // mov r64, [r64+disp8] (4B); avoid rm=100/101 special forms
         8 => {
-            let base = if matches!(r2, Reg::Rsp | Reg::Rbp) { Reg::Rbx } else { r2 };
+            let base = if matches!(r2, Reg::Rsp | Reg::Rbp) {
+                Reg::Rbx
+            } else {
+                r2
+            };
             out.extend_from_slice(&[0x48, 0x8B, modrm(0b01, r1.idx(), base.idx()), imm8]);
         }
         // mov [r64+disp8], r64 (4B)
         9 => {
-            let base = if matches!(r2, Reg::Rsp | Reg::Rbp) { Reg::Rsi } else { r2 };
+            let base = if matches!(r2, Reg::Rsp | Reg::Rbp) {
+                Reg::Rsi
+            } else {
+                r2
+            };
             out.extend_from_slice(&[0x48, 0x89, modrm(0b01, r1.idx(), base.idx()), imm8]);
         }
         // lea r64, [RIP+disp32] (7B)
@@ -324,10 +332,7 @@ mod tests {
             branch_template_len(BranchKind::DirectUncond)
         );
         b.clear();
-        assert_eq!(
-            call_rel32(&mut b, 0),
-            branch_template_len(BranchKind::Call)
-        );
+        assert_eq!(call_rel32(&mut b, 0), branch_template_len(BranchKind::Call));
         b.clear();
         assert_eq!(ret(&mut b), branch_template_len(BranchKind::Return));
         b.clear();

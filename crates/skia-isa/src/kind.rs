@@ -96,8 +96,10 @@ impl BranchInfo {
     /// Returns `None` for branch kinds whose target is not in the encoding.
     #[must_use]
     pub fn target(&self, pc: u64, len: u8) -> Option<u64> {
-        self.rel
-            .map(|rel| pc.wrapping_add(u64::from(len)).wrapping_add(rel as i64 as u64))
+        self.rel.map(|rel| {
+            pc.wrapping_add(u64::from(len))
+                .wrapping_add(rel as i64 as u64)
+        })
     }
 }
 
@@ -145,7 +147,11 @@ mod tests {
             .collect();
         assert_eq!(
             eligible,
-            vec![BranchKind::DirectUncond, BranchKind::Call, BranchKind::Return]
+            vec![
+                BranchKind::DirectUncond,
+                BranchKind::Call,
+                BranchKind::Return
+            ]
         );
     }
 

@@ -13,93 +13,438 @@ struct Golden {
 
 const GOLDEN: &[Golden] = &[
     // --- one-byte ALU forms ---
-    Golden { bytes: &[0x01, 0xD8], len: 2, branch: None, what: "add eax, ebx" },
-    Golden { bytes: &[0x48, 0x01, 0xD8], len: 3, branch: None, what: "add rax, rbx" },
-    Golden { bytes: &[0x29, 0xC8], len: 2, branch: None, what: "sub eax, ecx" },
-    Golden { bytes: &[0x31, 0xC0], len: 2, branch: None, what: "xor eax, eax" },
-    Golden { bytes: &[0x3C, 0x7F], len: 2, branch: None, what: "cmp al, 0x7f" },
-    Golden { bytes: &[0x3D, 0x00, 0x01, 0x00, 0x00], len: 5, branch: None, what: "cmp eax, imm32" },
-    Golden { bytes: &[0x66, 0x3D, 0x00, 0x01], len: 4, branch: None, what: "cmp ax, imm16" },
+    Golden {
+        bytes: &[0x01, 0xD8],
+        len: 2,
+        branch: None,
+        what: "add eax, ebx",
+    },
+    Golden {
+        bytes: &[0x48, 0x01, 0xD8],
+        len: 3,
+        branch: None,
+        what: "add rax, rbx",
+    },
+    Golden {
+        bytes: &[0x29, 0xC8],
+        len: 2,
+        branch: None,
+        what: "sub eax, ecx",
+    },
+    Golden {
+        bytes: &[0x31, 0xC0],
+        len: 2,
+        branch: None,
+        what: "xor eax, eax",
+    },
+    Golden {
+        bytes: &[0x3C, 0x7F],
+        len: 2,
+        branch: None,
+        what: "cmp al, 0x7f",
+    },
+    Golden {
+        bytes: &[0x3D, 0x00, 0x01, 0x00, 0x00],
+        len: 5,
+        branch: None,
+        what: "cmp eax, imm32",
+    },
+    Golden {
+        bytes: &[0x66, 0x3D, 0x00, 0x01],
+        len: 4,
+        branch: None,
+        what: "cmp ax, imm16",
+    },
     // --- stack ---
-    Golden { bytes: &[0x55], len: 1, branch: None, what: "push rbp" },
-    Golden { bytes: &[0x41, 0x57], len: 2, branch: None, what: "push r15 (REX.B)" },
-    Golden { bytes: &[0x5D], len: 1, branch: None, what: "pop rbp" },
-    Golden { bytes: &[0x68, 0x44, 0x33, 0x22, 0x11], len: 5, branch: None, what: "push imm32" },
-    Golden { bytes: &[0x6A, 0x01], len: 2, branch: None, what: "push imm8" },
+    Golden {
+        bytes: &[0x55],
+        len: 1,
+        branch: None,
+        what: "push rbp",
+    },
+    Golden {
+        bytes: &[0x41, 0x57],
+        len: 2,
+        branch: None,
+        what: "push r15 (REX.B)",
+    },
+    Golden {
+        bytes: &[0x5D],
+        len: 1,
+        branch: None,
+        what: "pop rbp",
+    },
+    Golden {
+        bytes: &[0x68, 0x44, 0x33, 0x22, 0x11],
+        len: 5,
+        branch: None,
+        what: "push imm32",
+    },
+    Golden {
+        bytes: &[0x6A, 0x01],
+        len: 2,
+        branch: None,
+        what: "push imm8",
+    },
     // --- moves ---
-    Golden { bytes: &[0x89, 0xC3], len: 2, branch: None, what: "mov ebx, eax" },
-    Golden { bytes: &[0x48, 0x89, 0xE5], len: 3, branch: None, what: "mov rbp, rsp" },
-    Golden { bytes: &[0x8B, 0x45, 0xF8], len: 3, branch: None, what: "mov eax, [rbp-8]" },
-    Golden { bytes: &[0x48, 0x8B, 0x04, 0x25, 0, 0, 0, 0], len: 8, branch: None, what: "mov rax, [abs32 via SIB]" },
-    Golden { bytes: &[0xB8, 0x2A, 0, 0, 0], len: 5, branch: None, what: "mov eax, 42" },
-    Golden { bytes: &[0x48, 0xC7, 0xC0, 0x2A, 0, 0, 0], len: 7, branch: None, what: "mov rax, imm32 (C7)" },
-    Golden { bytes: &[0x49, 0xB9, 1, 2, 3, 4, 5, 6, 7, 8], len: 10, branch: None, what: "mov r9, imm64" },
-    Golden { bytes: &[0xC6, 0x00, 0x7F], len: 3, branch: None, what: "mov byte [rax], 0x7f" },
+    Golden {
+        bytes: &[0x89, 0xC3],
+        len: 2,
+        branch: None,
+        what: "mov ebx, eax",
+    },
+    Golden {
+        bytes: &[0x48, 0x89, 0xE5],
+        len: 3,
+        branch: None,
+        what: "mov rbp, rsp",
+    },
+    Golden {
+        bytes: &[0x8B, 0x45, 0xF8],
+        len: 3,
+        branch: None,
+        what: "mov eax, [rbp-8]",
+    },
+    Golden {
+        bytes: &[0x48, 0x8B, 0x04, 0x25, 0, 0, 0, 0],
+        len: 8,
+        branch: None,
+        what: "mov rax, [abs32 via SIB]",
+    },
+    Golden {
+        bytes: &[0xB8, 0x2A, 0, 0, 0],
+        len: 5,
+        branch: None,
+        what: "mov eax, 42",
+    },
+    Golden {
+        bytes: &[0x48, 0xC7, 0xC0, 0x2A, 0, 0, 0],
+        len: 7,
+        branch: None,
+        what: "mov rax, imm32 (C7)",
+    },
+    Golden {
+        bytes: &[0x49, 0xB9, 1, 2, 3, 4, 5, 6, 7, 8],
+        len: 10,
+        branch: None,
+        what: "mov r9, imm64",
+    },
+    Golden {
+        bytes: &[0xC6, 0x00, 0x7F],
+        len: 3,
+        branch: None,
+        what: "mov byte [rax], 0x7f",
+    },
     // --- lea ---
-    Golden { bytes: &[0x48, 0x8D, 0x05, 0, 0, 0, 0], len: 7, branch: None, what: "lea rax, [rip+0]" },
-    Golden { bytes: &[0x8D, 0x44, 0x08, 0x10], len: 4, branch: None, what: "lea eax, [rax+rcx+16]" },
+    Golden {
+        bytes: &[0x48, 0x8D, 0x05, 0, 0, 0, 0],
+        len: 7,
+        branch: None,
+        what: "lea rax, [rip+0]",
+    },
+    Golden {
+        bytes: &[0x8D, 0x44, 0x08, 0x10],
+        len: 4,
+        branch: None,
+        what: "lea eax, [rax+rcx+16]",
+    },
     // --- test / shifts / grp3 ---
-    Golden { bytes: &[0x85, 0xC0], len: 2, branch: None, what: "test eax, eax" },
-    Golden { bytes: &[0xC1, 0xE0, 0x04], len: 3, branch: None, what: "shl eax, 4" },
-    Golden { bytes: &[0xD1, 0xE8], len: 2, branch: None, what: "shr eax, 1" },
-    Golden { bytes: &[0xF7, 0xD8], len: 2, branch: None, what: "neg eax" },
-    Golden { bytes: &[0xF7, 0xC0, 1, 0, 0, 0], len: 6, branch: None, what: "test eax, imm32" },
-    Golden { bytes: &[0xF6, 0xC1, 0x01], len: 3, branch: None, what: "test cl, 1" },
+    Golden {
+        bytes: &[0x85, 0xC0],
+        len: 2,
+        branch: None,
+        what: "test eax, eax",
+    },
+    Golden {
+        bytes: &[0xC1, 0xE0, 0x04],
+        len: 3,
+        branch: None,
+        what: "shl eax, 4",
+    },
+    Golden {
+        bytes: &[0xD1, 0xE8],
+        len: 2,
+        branch: None,
+        what: "shr eax, 1",
+    },
+    Golden {
+        bytes: &[0xF7, 0xD8],
+        len: 2,
+        branch: None,
+        what: "neg eax",
+    },
+    Golden {
+        bytes: &[0xF7, 0xC0, 1, 0, 0, 0],
+        len: 6,
+        branch: None,
+        what: "test eax, imm32",
+    },
+    Golden {
+        bytes: &[0xF6, 0xC1, 0x01],
+        len: 3,
+        branch: None,
+        what: "test cl, 1",
+    },
     // --- nops ---
-    Golden { bytes: &[0x90], len: 1, branch: None, what: "nop" },
-    Golden { bytes: &[0x0F, 0x1F, 0x44, 0x00, 0x00], len: 5, branch: None, what: "nop5" },
-    Golden { bytes: &[0x66, 0x0F, 0x1F, 0x84, 0, 0, 0, 0, 0], len: 9, branch: None, what: "nop9" },
+    Golden {
+        bytes: &[0x90],
+        len: 1,
+        branch: None,
+        what: "nop",
+    },
+    Golden {
+        bytes: &[0x0F, 0x1F, 0x44, 0x00, 0x00],
+        len: 5,
+        branch: None,
+        what: "nop5",
+    },
+    Golden {
+        bytes: &[0x66, 0x0F, 0x1F, 0x84, 0, 0, 0, 0, 0],
+        len: 9,
+        branch: None,
+        what: "nop9",
+    },
     // --- two-byte map ---
-    Golden { bytes: &[0x0F, 0x05], len: 2, branch: None, what: "syscall" },
-    Golden { bytes: &[0x0F, 0xA2], len: 2, branch: None, what: "cpuid" },
-    Golden { bytes: &[0x0F, 0xAF, 0xC3], len: 3, branch: None, what: "imul eax, ebx" },
-    Golden { bytes: &[0x0F, 0xB6, 0xC0], len: 3, branch: None, what: "movzx eax, al" },
-    Golden { bytes: &[0x0F, 0xBE, 0xC9], len: 3, branch: None, what: "movsx ecx, cl" },
-    Golden { bytes: &[0x0F, 0x44, 0xC8], len: 3, branch: None, what: "cmove ecx, eax" },
-    Golden { bytes: &[0x0F, 0x94, 0xC0], len: 3, branch: None, what: "sete al" },
-    Golden { bytes: &[0x0F, 0x10, 0x01], len: 3, branch: None, what: "movups xmm0, [rcx]" },
-    Golden { bytes: &[0x0F, 0xC8], len: 2, branch: None, what: "bswap eax" },
-    Golden { bytes: &[0x0F, 0x70, 0xC1, 0x1B], len: 4, branch: None, what: "pshufw mm0, mm1, 27" },
-    Golden { bytes: &[0xF3, 0x0F, 0xB8, 0xC3], len: 4, branch: None, what: "popcnt eax, ebx" },
+    Golden {
+        bytes: &[0x0F, 0x05],
+        len: 2,
+        branch: None,
+        what: "syscall",
+    },
+    Golden {
+        bytes: &[0x0F, 0xA2],
+        len: 2,
+        branch: None,
+        what: "cpuid",
+    },
+    Golden {
+        bytes: &[0x0F, 0xAF, 0xC3],
+        len: 3,
+        branch: None,
+        what: "imul eax, ebx",
+    },
+    Golden {
+        bytes: &[0x0F, 0xB6, 0xC0],
+        len: 3,
+        branch: None,
+        what: "movzx eax, al",
+    },
+    Golden {
+        bytes: &[0x0F, 0xBE, 0xC9],
+        len: 3,
+        branch: None,
+        what: "movsx ecx, cl",
+    },
+    Golden {
+        bytes: &[0x0F, 0x44, 0xC8],
+        len: 3,
+        branch: None,
+        what: "cmove ecx, eax",
+    },
+    Golden {
+        bytes: &[0x0F, 0x94, 0xC0],
+        len: 3,
+        branch: None,
+        what: "sete al",
+    },
+    Golden {
+        bytes: &[0x0F, 0x10, 0x01],
+        len: 3,
+        branch: None,
+        what: "movups xmm0, [rcx]",
+    },
+    Golden {
+        bytes: &[0x0F, 0xC8],
+        len: 2,
+        branch: None,
+        what: "bswap eax",
+    },
+    Golden {
+        bytes: &[0x0F, 0x70, 0xC1, 0x1B],
+        len: 4,
+        branch: None,
+        what: "pshufw mm0, mm1, 27",
+    },
+    Golden {
+        bytes: &[0xF3, 0x0F, 0xB8, 0xC3],
+        len: 4,
+        branch: None,
+        what: "popcnt eax, ebx",
+    },
     // --- direct branches ---
-    Golden { bytes: &[0xEB, 0x10], len: 2, branch: Some(BranchKind::DirectUncond), what: "jmp +16 (rel8)" },
-    Golden { bytes: &[0xE9, 0, 0x10, 0, 0], len: 5, branch: Some(BranchKind::DirectUncond), what: "jmp rel32" },
-    Golden { bytes: &[0x74, 0x05], len: 2, branch: Some(BranchKind::DirectCond), what: "je +5" },
-    Golden { bytes: &[0x0F, 0x85, 0, 0, 0, 0], len: 6, branch: Some(BranchKind::DirectCond), what: "jne rel32" },
-    Golden { bytes: &[0xE8, 0, 0, 0, 0], len: 5, branch: Some(BranchKind::Call), what: "call rel32" },
-    Golden { bytes: &[0xE0, 0xFB], len: 2, branch: Some(BranchKind::DirectCond), what: "loopne -5" },
-    Golden { bytes: &[0xE3, 0x02], len: 2, branch: Some(BranchKind::DirectCond), what: "jrcxz +2" },
+    Golden {
+        bytes: &[0xEB, 0x10],
+        len: 2,
+        branch: Some(BranchKind::DirectUncond),
+        what: "jmp +16 (rel8)",
+    },
+    Golden {
+        bytes: &[0xE9, 0, 0x10, 0, 0],
+        len: 5,
+        branch: Some(BranchKind::DirectUncond),
+        what: "jmp rel32",
+    },
+    Golden {
+        bytes: &[0x74, 0x05],
+        len: 2,
+        branch: Some(BranchKind::DirectCond),
+        what: "je +5",
+    },
+    Golden {
+        bytes: &[0x0F, 0x85, 0, 0, 0, 0],
+        len: 6,
+        branch: Some(BranchKind::DirectCond),
+        what: "jne rel32",
+    },
+    Golden {
+        bytes: &[0xE8, 0, 0, 0, 0],
+        len: 5,
+        branch: Some(BranchKind::Call),
+        what: "call rel32",
+    },
+    Golden {
+        bytes: &[0xE0, 0xFB],
+        len: 2,
+        branch: Some(BranchKind::DirectCond),
+        what: "loopne -5",
+    },
+    Golden {
+        bytes: &[0xE3, 0x02],
+        len: 2,
+        branch: Some(BranchKind::DirectCond),
+        what: "jrcxz +2",
+    },
     // --- returns ---
-    Golden { bytes: &[0xC3], len: 1, branch: Some(BranchKind::Return), what: "ret" },
-    Golden { bytes: &[0xC2, 0x10, 0x00], len: 3, branch: Some(BranchKind::Return), what: "ret 16" },
+    Golden {
+        bytes: &[0xC3],
+        len: 1,
+        branch: Some(BranchKind::Return),
+        what: "ret",
+    },
+    Golden {
+        bytes: &[0xC2, 0x10, 0x00],
+        len: 3,
+        branch: Some(BranchKind::Return),
+        what: "ret 16",
+    },
     // --- indirect branches ---
-    Golden { bytes: &[0xFF, 0xE0], len: 2, branch: Some(BranchKind::IndirectJmp), what: "jmp rax" },
-    Golden { bytes: &[0xFF, 0xE7], len: 2, branch: Some(BranchKind::IndirectJmp), what: "jmp rdi" },
-    Golden { bytes: &[0xFF, 0xD2], len: 2, branch: Some(BranchKind::IndirectCall), what: "call rdx" },
-    Golden { bytes: &[0xFF, 0x15, 0, 0, 0, 0], len: 6, branch: Some(BranchKind::IndirectCall), what: "call [rip+0]" },
-    Golden { bytes: &[0xFF, 0x24, 0xC5, 0, 0, 0, 0], len: 7, branch: Some(BranchKind::IndirectJmp), what: "jmp [rax*8+disp32]" },
-    Golden { bytes: &[0x41, 0xFF, 0xE2], len: 3, branch: Some(BranchKind::IndirectJmp), what: "jmp r10" },
+    Golden {
+        bytes: &[0xFF, 0xE0],
+        len: 2,
+        branch: Some(BranchKind::IndirectJmp),
+        what: "jmp rax",
+    },
+    Golden {
+        bytes: &[0xFF, 0xE7],
+        len: 2,
+        branch: Some(BranchKind::IndirectJmp),
+        what: "jmp rdi",
+    },
+    Golden {
+        bytes: &[0xFF, 0xD2],
+        len: 2,
+        branch: Some(BranchKind::IndirectCall),
+        what: "call rdx",
+    },
+    Golden {
+        bytes: &[0xFF, 0x15, 0, 0, 0, 0],
+        len: 6,
+        branch: Some(BranchKind::IndirectCall),
+        what: "call [rip+0]",
+    },
+    Golden {
+        bytes: &[0xFF, 0x24, 0xC5, 0, 0, 0, 0],
+        len: 7,
+        branch: Some(BranchKind::IndirectJmp),
+        what: "jmp [rax*8+disp32]",
+    },
+    Golden {
+        bytes: &[0x41, 0xFF, 0xE2],
+        len: 3,
+        branch: Some(BranchKind::IndirectJmp),
+        what: "jmp r10",
+    },
     // --- group 5 non-branch forms ---
-    Golden { bytes: &[0xFF, 0xC0], len: 2, branch: None, what: "inc eax (ff /0)" },
-    Golden { bytes: &[0xFF, 0xC9], len: 2, branch: None, what: "dec ecx (ff /1)" },
-    Golden { bytes: &[0xFF, 0x30], len: 2, branch: None, what: "push [rax] (ff /6)" },
+    Golden {
+        bytes: &[0xFF, 0xC0],
+        len: 2,
+        branch: None,
+        what: "inc eax (ff /0)",
+    },
+    Golden {
+        bytes: &[0xFF, 0xC9],
+        len: 2,
+        branch: None,
+        what: "dec ecx (ff /1)",
+    },
+    Golden {
+        bytes: &[0xFF, 0x30],
+        len: 2,
+        branch: None,
+        what: "push [rax] (ff /6)",
+    },
     // --- string / misc ---
-    Golden { bytes: &[0xF3, 0xA4], len: 2, branch: None, what: "rep movsb" },
-    Golden { bytes: &[0xF0, 0x48, 0x0F, 0xB1, 0x0A], len: 5, branch: None, what: "lock cmpxchg [rdx], rcx" },
-    Golden { bytes: &[0xCC], len: 1, branch: None, what: "int3" },
-    Golden { bytes: &[0xC9], len: 1, branch: None, what: "leave" },
-    Golden { bytes: &[0xC8, 0x20, 0x00, 0x00], len: 4, branch: None, what: "enter 32, 0" },
-    Golden { bytes: &[0x98], len: 1, branch: None, what: "cwde" },
-    Golden { bytes: &[0x63, 0xC3], len: 2, branch: None, what: "movsxd eax, ebx" },
-    Golden { bytes: &[0xA8, 0x01], len: 2, branch: None, what: "test al, 1" },
-    Golden { bytes: &[0xA1, 0, 0, 0, 0, 0, 0, 0, 0], len: 9, branch: None, what: "mov eax, moffs64" },
+    Golden {
+        bytes: &[0xF3, 0xA4],
+        len: 2,
+        branch: None,
+        what: "rep movsb",
+    },
+    Golden {
+        bytes: &[0xF0, 0x48, 0x0F, 0xB1, 0x0A],
+        len: 5,
+        branch: None,
+        what: "lock cmpxchg [rdx], rcx",
+    },
+    Golden {
+        bytes: &[0xCC],
+        len: 1,
+        branch: None,
+        what: "int3",
+    },
+    Golden {
+        bytes: &[0xC9],
+        len: 1,
+        branch: None,
+        what: "leave",
+    },
+    Golden {
+        bytes: &[0xC8, 0x20, 0x00, 0x00],
+        len: 4,
+        branch: None,
+        what: "enter 32, 0",
+    },
+    Golden {
+        bytes: &[0x98],
+        len: 1,
+        branch: None,
+        what: "cwde",
+    },
+    Golden {
+        bytes: &[0x63, 0xC3],
+        len: 2,
+        branch: None,
+        what: "movsxd eax, ebx",
+    },
+    Golden {
+        bytes: &[0xA8, 0x01],
+        len: 2,
+        branch: None,
+        what: "test al, 1",
+    },
+    Golden {
+        bytes: &[0xA1, 0, 0, 0, 0, 0, 0, 0, 0],
+        len: 9,
+        branch: None,
+        what: "mov eax, moffs64",
+    },
 ];
 
 #[test]
 fn golden_vectors_decode_exactly() {
     for g in GOLDEN {
-        let d = decode::decode(g.bytes)
-            .unwrap_or_else(|e| panic!("{}: {:02x?}: {e}", g.what, g.bytes));
+        let d =
+            decode::decode(g.bytes).unwrap_or_else(|e| panic!("{}: {:02x?}: {e}", g.what, g.bytes));
         assert_eq!(d.len, g.len, "{}: {:02x?}", g.what, g.bytes);
         match (g.branch, d.kind) {
             (None, InsnKind::Other) => {}
@@ -139,31 +484,31 @@ fn golden_vectors_are_length_exact() {
 fn invalid_64bit_opcodes_rejected() {
     // Opcodes removed in 64-bit mode, plus VEX/EVEX space we exclude.
     let invalid: &[&[u8]] = &[
-        &[0x06], // push es
-        &[0x07], // pop es
-        &[0x0E], // push cs
-        &[0x16], // push ss
-        &[0x17], // pop ss
-        &[0x1E], // push ds
-        &[0x1F], // pop ds
-        &[0x27], // daa
-        &[0x2F], // das
-        &[0x37], // aaa
-        &[0x3F], // aas
-        &[0x60], // pusha
-        &[0x61], // popa
-        &[0x62, 0, 0, 0, 0, 0], // EVEX space
-        &[0x82, 0xC0, 0x01],    // alias group (invalid in 64-bit)
+        &[0x06],                   // push es
+        &[0x07],                   // pop es
+        &[0x0E],                   // push cs
+        &[0x16],                   // push ss
+        &[0x17],                   // pop ss
+        &[0x1E],                   // push ds
+        &[0x1F],                   // pop ds
+        &[0x27],                   // daa
+        &[0x2F],                   // das
+        &[0x37],                   // aaa
+        &[0x3F],                   // aas
+        &[0x60],                   // pusha
+        &[0x61],                   // popa
+        &[0x62, 0, 0, 0, 0, 0],    // EVEX space
+        &[0x82, 0xC0, 0x01],       // alias group (invalid in 64-bit)
         &[0x9A, 0, 0, 0, 0, 0, 0], // far call
-        &[0xC4, 0, 0, 0],       // VEX3 (excluded subset)
-        &[0xC5, 0, 0],          // VEX2 (excluded subset)
-        &[0xCE], // into
-        &[0xD4, 0x0A], // aam
-        &[0xD5, 0x0A], // aad
-        &[0xD6], // salc
+        &[0xC4, 0, 0, 0],          // VEX3 (excluded subset)
+        &[0xC5, 0, 0],             // VEX2 (excluded subset)
+        &[0xCE],                   // into
+        &[0xD4, 0x0A],             // aam
+        &[0xD5, 0x0A],             // aad
+        &[0xD6],                   // salc
         &[0xEA, 0, 0, 0, 0, 0, 0], // far jmp
-        &[0xFE, 0xD0], // grp4 /2 undefined
-        &[0xFF, 0xF8], // grp5 /7 undefined
+        &[0xFE, 0xD0],             // grp4 /2 undefined
+        &[0xFF, 0xF8],             // grp5 /7 undefined
     ];
     for bytes in invalid {
         assert_eq!(

@@ -1,0 +1,523 @@
+//! JSON backend for the serde data model, plus a small parser for
+//! round-tripping snapshots in tests and tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+
+/// Serialize any [`serde::Serialize`] value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value
+        .serialize(JsonSerializer { out: &mut out })
+        .expect("JSON serialization is infallible");
+    out
+}
+
+/// Infallible error placeholder (string writing cannot fail).
+#[derive(Debug)]
+pub enum Never {}
+
+/// A [`Serializer`] that renders compact JSON into a string.
+pub struct JsonSerializer<'o> {
+    out: &'o mut String,
+}
+
+/// In-progress JSON sequence/map/struct.
+pub struct JsonCompound<'o> {
+    out: &'o mut String,
+    first: bool,
+    close: char,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting; force a fractional marker so
+        // the value parses back as a float.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl SerializeSeq for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeMap for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        // JSON keys must be strings: serialize the key, then string-wrap it
+        // if it did not render as one.
+        let mut k = String::new();
+        key.serialize(JsonSerializer { out: &mut k })?;
+        if k.starts_with('"') {
+            self.out.push_str(&k);
+        } else {
+            escape_into(self.out, &k);
+        }
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeStruct for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        escape_into(self.out, name);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl<'o> Serializer for JsonSerializer<'o> {
+    type Ok = ();
+    type Error = Never;
+    type SerializeSeq = JsonCompound<'o>;
+    type SerializeMap = JsonCompound<'o>;
+    type SerializeStruct = JsonCompound<'o>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Never> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Never> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Never> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Never> {
+        float_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Never> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Never> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Never> {
+        v.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Never> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonCompound<'o>, Never> {
+        self.out.push('[');
+        Ok(JsonCompound {
+            out: self.out,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonCompound<'o>, Never> {
+        self.out.push('{');
+        Ok(JsonCompound {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonCompound<'o>, Never> {
+        self.out.push('{');
+        Ok(JsonCompound {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (for snapshot round-trips).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number (kept as f64; u64 counters round-trip exactly below 2^53,
+    /// and integers are additionally kept verbatim in `Number::raw`).
+    Number(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object (key order normalized).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parse a JSON document.
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The object under a key, if this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a u64 (rounded; exact for integers below 2^53).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as an f64.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a str.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// This value as an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s8 = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s8.chars().next().expect("non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected , or ] found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                other => return Err(format!("expected , or }} found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(to_string(&7u64), "7");
+        assert_eq!(to_string(&-3i32), "-3");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&2.0f64), "2.0", "floats keep a marker");
+        assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&Option::<u64>::None), "null");
+        assert_eq!(to_string(&vec![1u64, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn maps_render_with_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(64u64, 3u64);
+        m.insert(128u64, 1u64);
+        assert_eq!(to_string(&m), "{\"64\":3,\"128\":1}");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let text = "{\"a\":[1,2.5,null,true],\"b\":\"x\\ny\",\"c\":{\"d\":-4}}";
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(-4.0));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert!(JsonValue::parse("{oops}").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn large_u64_counters_round_trip() {
+        // Counters live well below 2^53 in practice; check exactness there.
+        let v = (1u64 << 52) + 12345;
+        let parsed = JsonValue::parse(&to_string(&v)).unwrap();
+        assert_eq!(parsed.as_u64(), Some(v));
+    }
+}

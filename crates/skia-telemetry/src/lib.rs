@@ -1,0 +1,59 @@
+//! # skia-telemetry — structured observability for the Skia simulator
+//!
+//! Every paper figure used to be reconstructed from one monolithic stats
+//! struct mutated by hand. This crate is the substrate that replaces that
+//! plumbing:
+//!
+//! * [`MetricRegistry`] — named counters and gauges. A [`Counter`] is a
+//!   plain `u64` cell behind a shared handle: incrementing is one pointer
+//!   dereference, no locks, no string lookups on the hot path. Components
+//!   register once at construction and keep the handle.
+//! * [`Histogram`] — streaming log₂-bucketed distributions (FTQ occupancy,
+//!   resteer-repair latency, SBB entry lifetime, shadow-decode batch size).
+//! * [`EventTrace`] — an optional bounded ring buffer of cycle-stamped
+//!   events (resteers, SBB inserts/evicts/rescues, BTB misses, prefetch
+//!   issues), sampled at a configurable rate, exportable as Chrome
+//!   `trace_event` JSON or JSONL.
+//! * [`Snapshot`] — a serde-serialized materialization of the whole
+//!   registry, written by the experiment binaries' `--emit-json`.
+//!
+//! The simulator is single-threaded by design, so handles are `Rc<Cell<_>>`
+//! — the cheapest shared-mutability primitive Rust offers. Nothing here is
+//! `Send`; a sharded multi-threaded registry would aggregate per-thread
+//! registries via [`Snapshot::merge`].
+//!
+//! ## Quick taste
+//!
+//! ```rust
+//! use skia_telemetry::{MetricRegistry, TraceConfig, EventKind};
+//!
+//! let mut reg = MetricRegistry::new();
+//! let misses = reg.counter("btb.misses");
+//! let occ = reg.histogram("ftq.occupancy");
+//! let trace = reg.enable_trace(TraceConfig::default());
+//!
+//! // Hot path: no registry involvement, just the handles.
+//! misses.inc();
+//! occ.record(17);
+//! trace.record(1234, EventKind::BtbMiss, 0x4010, 0);
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("btb.misses"), Some(1));
+//! let json = snap.to_json_string();
+//! let back = skia_telemetry::Snapshot::from_json_str(&json).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricRegistry};
+pub use snapshot::Snapshot;
+pub use trace::{Event, EventKind, EventTrace, TraceConfig};

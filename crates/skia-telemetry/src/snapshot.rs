@@ -1,0 +1,314 @@
+//! Owned, serializable materialization of a [`crate::MetricRegistry`].
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, SerializeStruct, Serializer};
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{self, JsonValue};
+use crate::trace::{Event, EventKind};
+
+/// Everything a registry knew at one instant: counters, gauges, histogram
+/// contents, and the resident event-trace window.
+///
+/// Snapshots are plain data — comparable, mergeable, and serializable — so
+/// experiment binaries can write them to `results/*.json` and tests can
+/// assert on them directly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `name → value` for every registered counter.
+    pub counters: BTreeMap<String, u64>,
+    /// `name → value` for every registered gauge.
+    pub gauges: BTreeMap<String, f64>,
+    /// `name → materialized histogram` for every registered histogram.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Resident sampled events, oldest first (empty when tracing is off).
+    pub events: Vec<Event>,
+    /// Events offered to the trace before sampling.
+    pub events_seen: u64,
+    /// Sampled events displaced by the ring bound.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of a counter, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's materialization, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Fold another snapshot into this one: counters and histogram buckets
+    /// add, gauges take the other's value when present, events concatenate.
+    /// This is the aggregation path a sharded multi-registry design would
+    /// use; today it serves multi-run accumulation in tooling.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for (&lo, &c) in &h.buckets {
+                *dst.buckets.entry(lo).or_insert(0) += c;
+            }
+            let was_empty = dst.count == 0;
+            dst.count += h.count;
+            dst.sum = dst.sum.wrapping_add(h.sum);
+            if h.count > 0 {
+                dst.min = if was_empty { h.min } else { dst.min.min(h.min) };
+                dst.max = dst.max.max(h.max);
+            }
+        }
+        self.events.extend(other.events.iter().copied());
+        self.events_seen += other.events_seen;
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Serialize to a compact JSON string.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Parse a snapshot back out of [`Snapshot::to_json_string`] output.
+    pub fn from_json_str(s: &str) -> Result<Snapshot, String> {
+        let v = JsonValue::parse(s)?;
+        let obj = v.as_object().ok_or("snapshot must be a JSON object")?;
+
+        let mut snap = Snapshot::default();
+        if let Some(counters) = obj.get("counters").and_then(JsonValue::as_object) {
+            for (k, v) in counters {
+                let n = v.as_u64().ok_or_else(|| format!("counter {k} not u64"))?;
+                snap.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges").and_then(JsonValue::as_object) {
+            for (k, v) in gauges {
+                let n = v.as_f64().ok_or_else(|| format!("gauge {k} not f64"))?;
+                snap.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(hists) = obj.get("histograms").and_then(JsonValue::as_object) {
+            for (k, v) in hists {
+                snap.histograms.insert(k.clone(), parse_histogram(k, v)?);
+            }
+        }
+        if let Some(events) = obj.get("events").and_then(JsonValue::as_array) {
+            for (i, e) in events.iter().enumerate() {
+                snap.events.push(parse_event(i, e)?);
+            }
+        }
+        snap.events_seen = obj
+            .get("events_seen")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        snap.events_dropped = obj
+            .get("events_dropped")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        Ok(snap)
+    }
+}
+
+fn parse_histogram(name: &str, v: &JsonValue) -> Result<HistogramSnapshot, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("histogram {name} not an object"))?;
+    let mut h = HistogramSnapshot::default();
+    if let Some(buckets) = obj.get("buckets").and_then(JsonValue::as_object) {
+        for (lo, c) in buckets {
+            let lo: u64 = lo
+                .parse()
+                .map_err(|e| format!("histogram {name} bucket key {lo:?}: {e}"))?;
+            let c = c
+                .as_u64()
+                .ok_or_else(|| format!("histogram {name} bucket count not u64"))?;
+            h.buckets.insert(lo, c);
+        }
+    }
+    let field = |k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    h.count = field("count");
+    h.sum = field("sum");
+    h.min = field("min");
+    h.max = field("max");
+    Ok(h)
+}
+
+fn parse_event(i: usize, v: &JsonValue) -> Result<Event, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("event {i} not an object"))?;
+    let kind_name = obj
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("event {i} missing kind"))?;
+    let kind = EventKind::from_name(kind_name)
+        .ok_or_else(|| format!("event {i} has unknown kind {kind_name:?}"))?;
+    let field = |k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    Ok(Event {
+        cycle: field("cycle"),
+        kind,
+        pc: field("pc"),
+        arg: field("arg"),
+    })
+}
+
+impl Serialize for HistogramSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("HistogramSnapshot", 5)?;
+        s.serialize_field("buckets", &self.buckets)?;
+        s.serialize_field("count", &self.count)?;
+        s.serialize_field("sum", &self.sum)?;
+        s.serialize_field("min", &self.min)?;
+        s.serialize_field("max", &self.max)?;
+        s.end()
+    }
+}
+
+impl Serialize for Event {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Event", 4)?;
+        s.serialize_field("cycle", &self.cycle)?;
+        s.serialize_field("kind", self.kind.name())?;
+        s.serialize_field("pc", &self.pc)?;
+        s.serialize_field("arg", &self.arg)?;
+        s.end()
+    }
+}
+
+impl Serialize for Snapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Snapshot", 6)?;
+        s.serialize_field("counters", &self.counters)?;
+        s.serialize_field("gauges", &self.gauges)?;
+        s.serialize_field("histograms", &self.histograms)?;
+        s.serialize_field("events", &self.events)?;
+        s.serialize_field("events_seen", &self.events_seen)?;
+        s.serialize_field("events_dropped", &self.events_dropped)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::MetricRegistry;
+    use crate::trace::TraceConfig;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut reg = MetricRegistry::new();
+        reg.counter("btb.misses").add(17);
+        reg.counter("blocks").add(3);
+        reg.set_gauge("ipc", 1.25);
+        let h = reg.histogram("ftq.occupancy");
+        for v in [0u64, 4, 4, 9, 31] {
+            h.record(v);
+        }
+        let t = reg.enable_trace(TraceConfig::default());
+        t.record(10, EventKind::BtbMiss, 0x4000, 1);
+        t.record(12, EventKind::SbbRescue, 0x4008, 0);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let snap = sample_snapshot();
+        let json = snap.to_json_string();
+        let back = Snapshot::from_json_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = sample_snapshot().to_json_string();
+        assert!(json.contains("\"counters\":{\"blocks\":3,\"btb.misses\":17}"));
+        assert!(json.contains("\"kind\":\"sbb_rescue\""));
+        assert!(json.contains("\"events_seen\":2"));
+        let v = JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            v.get("histograms")
+                .and_then(|h| h.get("ftq.occupancy"))
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("btb.misses"), Some(17));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("ipc"), Some(1.25));
+        assert_eq!(snap.histogram("ftq.occupancy").unwrap().count, 5);
+        assert_eq!(snap.events.len(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample_snapshot();
+        let b = sample_snapshot();
+        a.merge(&b);
+        assert_eq!(a.counter("btb.misses"), Some(34));
+        let h = a.histogram("ftq.occupancy").unwrap();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 31);
+        assert_eq!(a.events.len(), 4);
+        assert_eq!(a.events_seen, 4);
+
+        // Merging into an empty snapshot reproduces the source.
+        let mut empty = Snapshot::default();
+        empty.merge(&b);
+        assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn histogram_merge_vs_snapshot_merge_agree() {
+        let h1 = Histogram::new();
+        let h2 = Histogram::new();
+        for v in [1u64, 2, 300] {
+            h1.record(v);
+        }
+        for v in [0u64, 2, 5000] {
+            h2.record(v);
+        }
+        // Path A: merge live histograms, then snapshot.
+        let live = Histogram::new();
+        live.merge(&h1);
+        live.merge(&h2);
+        // Path B: snapshot separately, then merge snapshots.
+        let mut reg1 = MetricRegistry::new();
+        reg1.histogram("h").merge(&h1);
+        let mut reg2 = MetricRegistry::new();
+        reg2.histogram("h").merge(&h2);
+        let mut s = reg1.snapshot();
+        s.merge(&reg2.snapshot());
+        assert_eq!(s.histogram("h"), Some(&live.snapshot()));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Snapshot::from_json_str("not json").is_err());
+        assert!(Snapshot::from_json_str("[1,2]").is_err());
+        assert!(
+            Snapshot::from_json_str("{\"events\":[{\"kind\":\"martian\"}]}").is_err(),
+            "unknown event kinds must not parse silently"
+        );
+    }
+}

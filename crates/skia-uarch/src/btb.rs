@@ -32,7 +32,7 @@ impl BtbConfig {
     /// Sets implied by the geometry (entries need not be a power of two).
     #[must_use]
     pub fn sets(&self) -> usize {
-        assert!(self.entries >= self.ways && self.entries % self.ways == 0);
+        assert!(self.entries >= self.ways && self.entries.is_multiple_of(self.ways));
         self.entries / self.ways
     }
 
@@ -227,7 +227,10 @@ mod tests {
 
     #[test]
     fn lookup_insert_roundtrip() {
-        let mut btb = Btb::new(BtbConfig { entries: 8, ways: 2 });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 8,
+            ways: 2,
+        });
         assert_eq!(btb.lookup(0x400), None);
         btb.insert(0x400, BranchKind::DirectUncond, 0x500, 5);
         let e = btb.lookup(0x400).unwrap();
@@ -238,7 +241,10 @@ mod tests {
 
     #[test]
     fn capacity_pressure_evicts() {
-        let mut btb = Btb::new(BtbConfig { entries: 4, ways: 2 });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 4,
+            ways: 2,
+        });
         // 2 sets × 2 ways; flood one set.
         for i in 0..8u64 {
             let pc = i * 2; // even pcs → set 0 (set = pc % 2 == 0)
@@ -250,7 +256,10 @@ mod tests {
 
     #[test]
     fn key_mirror_tracks_evictions() {
-        let mut btb = Btb::new(BtbConfig { entries: 4, ways: 2 });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 4,
+            ways: 2,
+        });
         for i in 0..8u64 {
             btb.insert(i * 2, BranchKind::Call, 0, 5);
         }
@@ -261,7 +270,10 @@ mod tests {
             from_keys.push(k);
             pc = k + 1;
         }
-        let from_probe: Vec<u64> = (0..8u64).map(|i| i * 2).filter(|&p| btb.probe(p).is_some()).collect();
+        let from_probe: Vec<u64> = (0..8u64)
+            .map(|i| i * 2)
+            .filter(|&p| btb.probe(p).is_some())
+            .collect();
         assert_eq!(from_keys, from_probe);
     }
 

@@ -64,6 +64,17 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.demand_misses + self.prefetch_misses
     }
+
+    /// Upsert every counter into `reg` under `prefix` (e.g. `l1i`) — the
+    /// pull-model telemetry bridge for snapshot-time export.
+    pub fn register_into(&self, reg: &mut skia_telemetry::MetricRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.demand_hits"), self.demand_hits);
+        reg.set_counter(&format!("{prefix}.demand_misses"), self.demand_misses);
+        reg.set_counter(&format!("{prefix}.prefetch_hits"), self.prefetch_hits);
+        reg.set_counter(&format!("{prefix}.prefetch_misses"), self.prefetch_misses);
+        reg.set_counter(&format!("{prefix}.evictions"), self.evictions);
+        reg.set_counter(&format!("{prefix}.polluting_fills"), self.polluting_fills);
+    }
 }
 
 /// Per-line bookkeeping stored in the tag array.
@@ -364,7 +375,7 @@ mod tests {
     #[test]
     fn pollution_accounting() {
         let mut c = tiny(); // 2 sets × 2 ways
-        // Fill both ways of set 0 by prefetch, never touch them, then evict.
+                            // Fill both ways of set 0 by prefetch, never touch them, then evict.
         c.fill(0x0000, true); // set 0
         c.fill(0x0080, true); // set 0 (2 sets ⇒ stride 128 maps to same set)
         c.fill(0x0100, false); // evicts one prefetched-unused line

@@ -17,7 +17,11 @@ struct Folded {
 
 impl Folded {
     fn new(clen: usize, olen: usize) -> Self {
-        Folded { comp: 0, clen, olen }
+        Folded {
+            comp: 0,
+            clen,
+            olen,
+        }
     }
 
     fn update(&mut self, new_bit: bool, old_bit: bool) {
@@ -113,8 +117,8 @@ impl Ittage {
     pub fn new(num_tables: usize, index_bits: usize, max_history: usize) -> Self {
         assert!((1..=8).contains(&num_tables));
         let min_history = 2usize;
-        let ratio = (max_history as f64 / min_history as f64)
-            .powf(1.0 / (num_tables.max(2) - 1) as f64);
+        let ratio =
+            (max_history as f64 / min_history as f64).powf(1.0 / (num_tables.max(2) - 1) as f64);
         let tables = (0..num_tables)
             .map(|i| {
                 let h = (min_history as f64 * ratio.powi(i as i32)).round() as usize;

@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod btb;
-pub mod cacti;
 pub mod cache;
+pub mod cacti;
 pub mod ftq;
 pub mod ittage;
 pub mod ras;

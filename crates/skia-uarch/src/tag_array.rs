@@ -226,7 +226,8 @@ impl<V> TagArray<V> {
     /// Iterate over all valid `(set, tag, value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &V)> + '_ {
         self.slots.iter().enumerate().filter_map(move |(i, s)| {
-            s.as_ref().map(|slot| (i / self.ways, slot.tag, &slot.value))
+            s.as_ref()
+                .map(|slot| (i / self.ways, slot.tag, &slot.value))
         })
     }
 }

@@ -21,7 +21,11 @@ struct Folded {
 
 impl Folded {
     fn new(clen: usize, olen: usize) -> Self {
-        Folded { comp: 0, clen, olen }
+        Folded {
+            comp: 0,
+            clen,
+            olen,
+        }
     }
 
     fn update(&mut self, new_bit: bool, old_bit: bool) {
@@ -93,7 +97,8 @@ impl TageTable {
 
     fn index(&self, pc: u64) -> usize {
         let pc = pc >> 1;
-        let mix = pc ^ (pc >> self.index_bits) ^ (pc >> (2 * self.index_bits as u32 as u64 as usize));
+        let mix =
+            pc ^ (pc >> self.index_bits) ^ (pc >> (2 * self.index_bits as u32 as u64 as usize));
         ((mix as u32 ^ self.idx_fold.comp) & ((1 << self.index_bits) - 1)) as usize
     }
 
@@ -166,8 +171,7 @@ impl TageConfig {
     /// Approximate storage in KB (ctr+tag+u per tagged entry, 2-bit bimodal).
     #[must_use]
     pub fn storage_kb(&self) -> f64 {
-        let tagged_bits =
-            self.num_tables * (1 << self.table_index_bits) * (3 + 2 + self.tag_bits);
+        let tagged_bits = self.num_tables * (1 << self.table_index_bits) * (3 + 2 + self.tag_bits);
         let base_bits = (1 << self.base_index_bits) * 2;
         let loop_bits = if self.loop_predictor { 64 * 52 } else { 0 };
         (tagged_bits + base_bits + loop_bits) as f64 / 8.0 / 1024.0
@@ -453,7 +457,11 @@ impl Tage {
             }
             None => {
                 let c = &mut self.base[pred.base_index as usize];
-                *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+                *c = if taken {
+                    (*c + 1).min(1)
+                } else {
+                    (*c - 1).max(-2)
+                };
             }
         }
 
@@ -470,7 +478,7 @@ impl Tage {
                 }
             } else {
                 // Prefer shorter history; skip ahead pseudo-randomly (Seznec).
-                let pick = if free.len() > 1 && self.next_rand() % 2 == 0 {
+                let pick = if free.len() > 1 && self.next_rand().is_multiple_of(2) {
                     free[1]
                 } else {
                     free[0]

@@ -1,11 +1,11 @@
 //! Property tests on the microarchitectural structures.
 
 use proptest::prelude::*;
+use skia_isa::BranchKind;
 use skia_uarch::btb::{Btb, BtbConfig};
 use skia_uarch::cache::{Cache, CacheConfig};
 use skia_uarch::ras::ReturnAddressStack;
 use skia_uarch::tag_array::TagArray;
-use skia_isa::BranchKind;
 
 proptest! {
     /// A tag array never exceeds capacity and always finds the most

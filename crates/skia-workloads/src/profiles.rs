@@ -84,41 +84,203 @@ pub fn profile(name: &str) -> Option<Profile> {
             name,
             suite,
             spec,
-            trace_seed: seed ^ 0x7EAC_E5EE_D,
+            trace_seed: seed ^ 0x0007_EACE_5EED,
         }
     };
     use Layout::{Bolted, Interleaved};
     let p = match name {
         // DaCapo
-        "cassandra" => mk("cassandra", "DaCapo", 10000, 0.55, 0.50, 0.03, 0.90, Interleaved, 101),
-        "kafka" => mk("kafka", "DaCapo", 9000, 0.78, 0.22, 0.02, 0.92, Interleaved, 102),
-        "tomcat" => mk("tomcat", "DaCapo", 12000, 0.55, 0.50, 0.03, 0.88, Interleaved, 103),
+        "cassandra" => mk(
+            "cassandra",
+            "DaCapo",
+            10000,
+            0.55,
+            0.50,
+            0.03,
+            0.90,
+            Interleaved,
+            101,
+        ),
+        "kafka" => mk(
+            "kafka",
+            "DaCapo",
+            9000,
+            0.78,
+            0.22,
+            0.02,
+            0.92,
+            Interleaved,
+            102,
+        ),
+        "tomcat" => mk(
+            "tomcat",
+            "DaCapo",
+            12000,
+            0.55,
+            0.50,
+            0.03,
+            0.88,
+            Interleaved,
+            103,
+        ),
         // Renaissance
-        "finagle-chirper" => {
-            mk("finagle-chirper", "Renaissance", 2000, 0.60, 0.45, 0.03, 1.30, Interleaved, 104)
-        }
-        "finagle-http" => {
-            mk("finagle-http", "Renaissance", 4500, 0.60, 0.45, 0.03, 1.10, Interleaved, 105)
-        }
-        "dotty" => mk("dotty", "Renaissance", 14000, 0.50, 0.55, 0.04, 0.85, Interleaved, 106),
+        "finagle-chirper" => mk(
+            "finagle-chirper",
+            "Renaissance",
+            2000,
+            0.60,
+            0.45,
+            0.03,
+            1.30,
+            Interleaved,
+            104,
+        ),
+        "finagle-http" => mk(
+            "finagle-http",
+            "Renaissance",
+            4500,
+            0.60,
+            0.45,
+            0.03,
+            1.10,
+            Interleaved,
+            105,
+        ),
+        "dotty" => mk(
+            "dotty",
+            "Renaissance",
+            14000,
+            0.50,
+            0.55,
+            0.04,
+            0.85,
+            Interleaved,
+            106,
+        ),
         // OLTP-Bench on PostgreSQL
-        "tpcc" => mk("tpcc", "OLTP", 10000, 0.50, 0.55, 0.02, 0.90, Interleaved, 107),
-        "ycsb" => mk("ycsb", "OLTP", 7500, 0.55, 0.50, 0.02, 0.95, Interleaved, 108),
-        "twitter" => mk("twitter", "OLTP", 8000, 0.55, 0.50, 0.02, 0.90, Interleaved, 109),
-        "voter" => mk("voter", "OLTP", 16000, 0.35, 0.72, 0.02, 0.78, Interleaved, 110),
-        "smallbank" => mk("smallbank", "OLTP", 7000, 0.50, 0.55, 0.02, 0.95, Interleaved, 111),
-        "tatp" => mk("tatp", "OLTP", 6500, 0.50, 0.55, 0.02, 0.95, Interleaved, 112),
-        "sibench" => mk("sibench", "OLTP", 15000, 0.35, 0.72, 0.02, 0.78, Interleaved, 113),
-        "noop" => mk("noop", "OLTP", 4500, 0.50, 0.50, 0.02, 1.00, Interleaved, 114),
+        "tpcc" => mk(
+            "tpcc",
+            "OLTP",
+            10000,
+            0.50,
+            0.55,
+            0.02,
+            0.90,
+            Interleaved,
+            107,
+        ),
+        "ycsb" => mk(
+            "ycsb",
+            "OLTP",
+            7500,
+            0.55,
+            0.50,
+            0.02,
+            0.95,
+            Interleaved,
+            108,
+        ),
+        "twitter" => mk(
+            "twitter",
+            "OLTP",
+            8000,
+            0.55,
+            0.50,
+            0.02,
+            0.90,
+            Interleaved,
+            109,
+        ),
+        "voter" => mk(
+            "voter",
+            "OLTP",
+            16000,
+            0.35,
+            0.72,
+            0.02,
+            0.78,
+            Interleaved,
+            110,
+        ),
+        "smallbank" => mk(
+            "smallbank",
+            "OLTP",
+            7000,
+            0.50,
+            0.55,
+            0.02,
+            0.95,
+            Interleaved,
+            111,
+        ),
+        "tatp" => mk(
+            "tatp",
+            "OLTP",
+            6500,
+            0.50,
+            0.55,
+            0.02,
+            0.95,
+            Interleaved,
+            112,
+        ),
+        "sibench" => mk(
+            "sibench",
+            "OLTP",
+            15000,
+            0.35,
+            0.72,
+            0.02,
+            0.78,
+            Interleaved,
+            113,
+        ),
+        "noop" => mk(
+            "noop",
+            "OLTP",
+            4500,
+            0.50,
+            0.50,
+            0.02,
+            1.00,
+            Interleaved,
+            114,
+        ),
         // Chipyard (shipped BOLT-optimized in the paper)
-        "verilator" => mk("verilator", "Chipyard", 16000, 0.70, 0.30, 0.01, 0.82, Bolted, 115),
-        "verilator_prebolt" => {
-            mk("verilator_prebolt", "Chipyard", 16000, 0.70, 0.30, 0.01, 0.82, Interleaved, 115)
-        }
+        "verilator" => mk(
+            "verilator",
+            "Chipyard",
+            16000,
+            0.70,
+            0.30,
+            0.01,
+            0.82,
+            Bolted,
+            115,
+        ),
+        "verilator_prebolt" => mk(
+            "verilator_prebolt",
+            "Chipyard",
+            16000,
+            0.70,
+            0.30,
+            0.01,
+            0.82,
+            Interleaved,
+            115,
+        ),
         // BrowserBench
-        "speedometer2.0" => {
-            mk("speedometer2.0", "BrowserBench", 2500, 0.65, 0.40, 0.04, 1.25, Interleaved, 116)
-        }
+        "speedometer2.0" => mk(
+            "speedometer2.0",
+            "BrowserBench",
+            2500,
+            0.65,
+            0.40,
+            0.04,
+            1.25,
+            Interleaved,
+            116,
+        ),
         _ => return None,
     };
     Some(p)

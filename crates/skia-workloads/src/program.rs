@@ -252,6 +252,7 @@ impl Program {
             });
         }
 
+        #[allow(clippy::needless_range_loop)] // fi also derives entry PCs, not just is_leaf
         for fi in 1..spec.functions {
             let nblocks = sample_range(&mut rng, &spec.blocks_per_fn).max(1);
             // Zipf-like hotness over a random permutation: weight by rank.
@@ -418,13 +419,13 @@ impl Program {
                         (len, BranchKind::Call, Some((*callee, 0)), Vec::new(), false)
                     }
                     AbsTerm::IndirectCall { callees } => {
-                        let reg = encode::Reg::ALL[rng.gen_range(0..8)];
+                        let reg = encode::Reg::ALL[rng.gen_range(0..8usize)];
                         let len = encode::call_reg(&mut image, reg) as u8;
                         let refs = callees.iter().map(|&c| (c, 0)).collect();
                         (len, BranchKind::IndirectCall, None, refs, false)
                     }
                     AbsTerm::IndirectJmp { target_blocks } => {
-                        let reg = encode::Reg::ALL[rng.gen_range(0..8)];
+                        let reg = encode::Reg::ALL[rng.gen_range(0..8usize)];
                         let len = encode::jmp_reg(&mut image, reg) as u8;
                         let refs = target_blocks.iter().map(|&tb| (fi, tb)).collect();
                         (len, BranchKind::IndirectJmp, None, refs, false)
@@ -693,10 +694,7 @@ mod tests {
     fn last_block_returns() {
         let p = Program::generate(&small_spec());
         for f in p.functions() {
-            assert_eq!(
-                f.blocks.last().unwrap().terminator.kind,
-                BranchKind::Return
-            );
+            assert_eq!(f.blocks.last().unwrap().terminator.kind, BranchKind::Return);
         }
     }
 
@@ -747,7 +745,7 @@ mod tests {
         let p = Program::generate(&small_spec());
         let end = p.base() + p.code_bytes() as u64;
         let (line_base, bytes) = p.line(end - 1);
-        assert!(line_base <= end - 1);
+        assert!(line_base < end);
         let in_image = (end - line_base) as usize;
         if in_image < CACHE_LINE_BYTES {
             assert!(bytes[in_image..].iter().all(|&b| b == 0));

@@ -96,7 +96,6 @@ impl<'p> Walker<'p> {
             burst_cap: spec.0,
         }
     }
-
 }
 
 impl Iterator for Walker<'_> {
@@ -112,8 +111,7 @@ impl Iterator for Walker<'_> {
         let (taken, next_pc, next_loc): (bool, u64, (u32, u32)) = match t.kind {
             BranchKind::Return => {
                 let resume = self.stack.pop().unwrap_or((0, 0));
-                let addr =
-                    program.functions()[resume.0 as usize].blocks[resume.1 as usize].start;
+                let addr = program.functions()[resume.0 as usize].blocks[resume.1 as usize].start;
                 (true, addr, resume)
             }
             BranchKind::DirectUncond => {

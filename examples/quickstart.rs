@@ -30,11 +30,7 @@ fn main() {
     let baseline = skia::frontend::run(&program, FrontendConfig::alder_lake_like(), trace());
 
     // Same front-end plus Skia's 12.25 KB Shadow Branch Buffer.
-    let enhanced = skia::frontend::run(
-        &program,
-        FrontendConfig::alder_lake_with_skia(),
-        trace(),
-    );
+    let enhanced = skia::frontend::run(&program, FrontendConfig::alder_lake_with_skia(), trace());
 
     println!("\n{:<28}{:>12}{:>12}", "metric", "baseline", "with Skia");
     let r = |name: &str, a: f64, b: f64| println!("{name:<28}{a:>12.3}{b:>12.3}");

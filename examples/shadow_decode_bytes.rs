@@ -32,7 +32,10 @@ fn main() {
         encode::nop_exact(&mut line, 1);
     }
 
-    println!("\nHead region bytes 0..{entry_offset}: {:02X?}", &line[..entry_offset]);
+    println!(
+        "\nHead region bytes 0..{entry_offset}: {:02X?}",
+        &line[..entry_offset]
+    );
     println!("Per-byte Length vector (Index Computation):");
     for i in 0..entry_offset {
         let len = decode::decode(&line[i..]).map(|d| d.len).unwrap_or(0);
@@ -50,10 +53,7 @@ fn main() {
             hd.branches.len()
         );
         for b in &hd.branches {
-            println!(
-                "    {:?} at {:#x}, target {:?}",
-                b.kind, b.pc, b.target
-            );
+            println!("    {:?} at {:#x}, target {:?}", b.kind, b.pc, b.target);
         }
     }
 

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper into results/.
 # SKIA_STEPS scales trace length (default 400000 ~ 2.8M instructions per run).
+# SKIA_EMIT=1 additionally writes each experiment's merged telemetry snapshot
+# (counters, histograms, sampled event trace) to results/<exp>.telemetry.json.
 set -e
 cd "$(dirname "$0")"
 STEPS="${SKIA_STEPS:-400000}"
@@ -8,6 +10,10 @@ export SKIA_STEPS="$STEPS"
 echo "running all experiments at $STEPS steps per run"
 for exp in table1 table2 fig01 fig06 fig13 fig15 fig16 fig18 fig14 ablations fig17 fig03; do
   echo "=== $exp ==="
-  ./target/release/$exp > results/$exp.md 2>/dev/null || cargo run --release -p skia-experiments --bin $exp > results/$exp.md
+  EMIT=""
+  if [ -n "${SKIA_EMIT:-}" ]; then
+    EMIT="--emit-json results/$exp.telemetry.json"
+  fi
+  ./target/release/$exp $EMIT > results/$exp.md 2>/dev/null || cargo run --release -p skia-experiments --bin $exp -- $EMIT > results/$exp.md
   echo "done: results/$exp.md"
 done

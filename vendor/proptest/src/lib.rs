@@ -1,0 +1,152 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment cannot fetch the real crate, so this vendored
+//! stand-in implements the surface the workspace's property tests use:
+//!
+//! * [`Strategy`] with range, `any`, tuple and `collection::vec` strategies,
+//! * the [`proptest!`], [`prop_compose!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros,
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Semantics are the useful core of the real crate: each test runs `cases`
+//! random cases from a deterministic per-test seed. There is **no input
+//! shrinking** — a failing case panics with the case index so it can be
+//! replayed, but inputs are not minimized.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Assert inside a property test. Equivalent to `assert!` here (failures
+/// panic immediately; there is no shrinking phase to resume).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn` body runs once per random case with its
+/// arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Compose strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($ctor_arg:ident: $ctor_ty:ty),* $(,)?)
+            ($($field:ident in $strat:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($ctor_arg: $ctor_ty),*)
+            -> impl $crate::strategy::Strategy<Value = $out>
+        {
+            $crate::strategy::FnStrategy::new(
+                move |rng: &mut $crate::test_runner::TestRng| -> $out {
+                    $(let $field = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0usize..10, b in 10usize..20) -> (usize, usize) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 1usize..16, f in 0.25f64..0.75, b in any::<bool>()) {
+            prop_assert!((1..16).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u8..16, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x < 16));
+        }
+
+        #[test]
+        fn tuple_and_compose(pair in arb_pair(), t in (any::<u32>(), 5u8..9)) {
+            prop_assert!(pair.0 < 10 && pair.1 >= 10);
+            prop_assert!((5..9).contains(&t.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = 0u64..1000;
+        let mut first = Vec::new();
+        for case in 0..10 {
+            let mut rng = TestRng::for_case("det", case);
+            first.push(s.generate(&mut rng));
+        }
+        for case in 0..10 {
+            let mut rng = TestRng::for_case("det", case);
+            assert_eq!(first[case as usize], s.generate(&mut rng));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline, API-compatible subset of `serde`'s serialization data model.
+//!
+//! The build environment cannot reach a crate registry, so the real `serde`
+//! is unavailable. This vendored stand-in keeps the real crate's architecture
+//! — a [`Serialize`] trait driving a visitor-style [`Serializer`] — so every
+//! manual `impl Serialize` written against it is source-compatible with the
+//! real thing. The derive macro is not provided (it would need a proc-macro
+//! stack); workspace types implement `Serialize` by hand.
+
+#![forbid(unsafe_code)]
+
+pub mod ser;
+
+pub use ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+
+#[cfg(test)]
+mod tests {
+    use super::ser::*;
+
+    /// A toy serializer that renders the driven data model as an S-expression,
+    /// proving the visitor plumbing works end to end.
+    struct Sexpr(String);
+
+    struct SexprCompound<'a>(&'a mut Sexpr);
+
+    impl<'a> SerializeSeq for SexprCompound<'a> {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Self::Error> {
+            self.0 .0.push(' ');
+            v.serialize(&mut *self.0)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            self.0 .0.push(')');
+            Ok(())
+        }
+    }
+
+    impl<'a> SerializeMap for SexprCompound<'a> {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            k: &K,
+            v: &V,
+        ) -> Result<(), Self::Error> {
+            self.0 .0.push(' ');
+            k.serialize(&mut *self.0)?;
+            self.0 .0.push('=');
+            v.serialize(&mut *self.0)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            self.0 .0.push(')');
+            Ok(())
+        }
+    }
+
+    impl<'a> SerializeStruct for SexprCompound<'a> {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            self.0 .0.push(' ');
+            self.0 .0.push_str(name);
+            self.0 .0.push('=');
+            v.serialize(&mut *self.0)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            self.0 .0.push(')');
+            Ok(())
+        }
+    }
+
+    impl<'a> Serializer for &'a mut Sexpr {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        type SerializeSeq = SexprCompound<'a>;
+        type SerializeMap = SexprCompound<'a>;
+        type SerializeStruct = SexprCompound<'a>;
+
+        fn serialize_bool(self, v: bool) -> Result<(), Self::Error> {
+            self.0.push_str(if v { "#t" } else { "#f" });
+            Ok(())
+        }
+        fn serialize_u64(self, v: u64) -> Result<(), Self::Error> {
+            self.0.push_str(&v.to_string());
+            Ok(())
+        }
+        fn serialize_i64(self, v: i64) -> Result<(), Self::Error> {
+            self.0.push_str(&v.to_string());
+            Ok(())
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Self::Error> {
+            self.0.push_str(&v.to_string());
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
+            self.0.push_str(v);
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Self::Error> {
+            self.0.push_str("nil");
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Self::Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Self::Error> {
+            self.0.push_str("()");
+            Ok(())
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+            self.0.push_str("(seq");
+            Ok(SexprCompound(self))
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+            self.0.push_str("(map");
+            Ok(SexprCompound(self))
+        }
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            _len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error> {
+            self.0.push('(');
+            self.0.push_str(name);
+            Ok(SexprCompound(self))
+        }
+    }
+
+    #[test]
+    fn visitor_plumbing_round() {
+        struct P {
+            x: u64,
+            tags: Vec<bool>,
+        }
+        impl Serialize for P {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut st = s.serialize_struct("P", 2)?;
+                st.serialize_field("x", &self.x)?;
+                st.serialize_field("tags", &self.tags)?;
+                st.end()
+            }
+        }
+        let mut out = Sexpr(String::new());
+        P {
+            x: 7,
+            tags: vec![true, false],
+        }
+        .serialize(&mut out)
+        .unwrap();
+        assert_eq!(out.0, "(P x=7 tags=(seq #t #f))");
+    }
+}
