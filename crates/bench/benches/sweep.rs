@@ -1,0 +1,66 @@
+//! Sweep-engine throughput: runs/sec for the same job list on 1 thread vs
+//! all cores, plus a micro-benchmark of the allocation-free block-formation
+//! path (the per-block `LineSet` that replaced a heap `Vec` in the fetch
+//! loop). Small step counts keep the wall time tractable; the relative
+//! numbers are what matter. Measured numbers are recorded in
+//! `BENCH_sweep.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skia_bench::{bench_workload, run_sim};
+use skia_experiments::{workload, StandingConfig, Sweep};
+use skia_frontend::FrontendConfig;
+use skia_runner::thread_count;
+
+const BENCHES: [&str; 3] = ["tpcc", "voter", "kafka"];
+const STEPS: usize = 2_000;
+
+fn sweep_jobs(threads: usize) -> usize {
+    let mut sweep = Sweep::new(threads).quiet();
+    for name in BENCHES {
+        for config in [
+            StandingConfig::Btb(8192).frontend(),
+            StandingConfig::BtbPlusBudget(8192).frontend(),
+            StandingConfig::BtbPlusSkia(8192).frontend(),
+            StandingConfig::Infinite.frontend(),
+        ] {
+            sweep.add(name, config, STEPS);
+        }
+    }
+    sweep.run_collect().len()
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    // Warm the in-process workload memo so the benchmark measures sweep
+    // execution, not first-touch program generation.
+    for name in BENCHES {
+        let _ = workload(name);
+    }
+    c.bench_function("sweep_12_jobs_1_thread", |b| b.iter(|| sweep_jobs(1)));
+    let n = thread_count(None);
+    c.bench_function("sweep_12_jobs_all_threads", |b| b.iter(|| sweep_jobs(n)));
+}
+
+fn block_formation(c: &mut Criterion) {
+    // Short simulation dominated by fetch/block formation; exercises the
+    // inline LineSet on every predicted block.
+    let (program, seed, trip) = bench_workload();
+    c.bench_function("block_formation_2k_steps", |b| {
+        b.iter(|| {
+            run_sim(
+                &program,
+                seed,
+                trip,
+                FrontendConfig::alder_lake_like(),
+                STEPS,
+            )
+            .cycles
+        })
+    });
+}
+
+criterion_group! {
+    name = sweep;
+    config = Criterion::default().sample_size(20);
+    targets = sweep_throughput, block_formation
+}
+criterion_main!(sweep);

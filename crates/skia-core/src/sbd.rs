@@ -21,6 +21,8 @@
 //!    whose start index matches the [`IndexPolicy`] supplies the shadow
 //!    branches.
 
+use std::collections::HashMap;
+
 use skia_isa::{decode, BranchKind, DecodeError, InsnKind};
 
 /// Which validated path supplies the decoded shadow branches (§3.2.2,
@@ -103,18 +105,44 @@ pub struct ShadowDecoderStats {
     pub valid_path_sum: u64,
 }
 
+/// Entry bound for the head-decode memo: at ~100 bytes per cached
+/// [`HeadDecode`] this is ≈2 MB, and a workload's hot lines fit many times
+/// over. The memo is cleared wholesale when full (re-decoding is cheap;
+/// bookkeeping an LRU here would cost more than it saves).
+const HEAD_MEMO_CAP: usize = 16 * 1024;
+
 /// The decoder: configuration plus counters. Decoding itself is pure.
 #[derive(Debug, Clone)]
 pub struct ShadowDecoder {
     policy: IndexPolicy,
     max_valid_paths: usize,
     stats: ShadowDecoderStats,
+    /// Memo for [`decode_head`]: FDIP re-fetches the same hot lines at the
+    /// same entry points constantly, and head decoding (per-offset Index
+    /// Computation + Path Validation) is the most expensive thing the SBD
+    /// does. Keyed by `(line base, entry offset, FNV-1a of the head bytes)`
+    /// — the content hash guards the (test-only) case of different bytes at
+    /// one address. Results are pure given the key and the fixed policy, so
+    /// hits replay the stat increments and return a clone.
+    ///
+    /// [`decode_head`]: ShadowDecoder::decode_head
+    head_memo: HashMap<(u64, u32, u64), HeadDecode>,
 }
 
 impl Default for ShadowDecoder {
     fn default() -> Self {
         ShadowDecoder::new(IndexPolicy::First, 6)
     }
+}
+
+/// FNV-1a 64 over a byte slice (head-region content hash for the memo key).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl ShadowDecoder {
@@ -127,6 +155,7 @@ impl ShadowDecoder {
             policy,
             max_valid_paths,
             stats: ShadowDecoderStats::default(),
+            head_memo: HashMap::new(),
         }
     }
 
@@ -193,14 +222,46 @@ impl ShadowDecoder {
     /// Decode the **head** shadow region of `line`: bytes `0..entry_offset`.
     ///
     /// Runs Index Computation + Path Validation and extracts branches from
-    /// the path selected by the [`IndexPolicy`].
+    /// the path selected by the [`IndexPolicy`]. Results are memoized per
+    /// `(line base, entry offset, head bytes)`: a memo hit replays the same
+    /// stat increments a fresh decode would make, so counters are identical
+    /// with and without the memo.
     pub fn decode_head(&mut self, line: &[u8], line_base: u64, entry_offset: usize) -> HeadDecode {
         self.stats.head_regions += 1;
         let entry = entry_offset.min(line.len());
         if entry == 0 {
             return HeadDecode::default();
         }
+        let key = (line_base, entry as u32, fnv1a(&line[..entry]));
+        if let Some(hit) = self.head_memo.get(&key) {
+            let hd = hit.clone();
+            self.record_head_stats(&hd);
+            return hd;
+        }
+        let hd = self.decode_head_uncached(line, line_base, entry);
+        self.record_head_stats(&hd);
+        if self.head_memo.len() >= HEAD_MEMO_CAP {
+            self.head_memo.clear();
+        }
+        self.head_memo.insert(key, hd.clone());
+        hd
+    }
 
+    /// The stat increments one head decode contributes (beyond
+    /// `head_regions`, charged by the caller) — derived from the outcome so
+    /// memo hits and fresh decodes count identically by construction.
+    fn record_head_stats(&mut self, hd: &HeadDecode) {
+        if hd.discarded {
+            self.stats.head_regions_discarded += 1;
+        } else if !hd.valid_starts.is_empty() {
+            self.stats.head_regions_valid += 1;
+            self.stats.valid_path_sum += hd.valid_starts.len() as u64;
+            self.stats.head_branches += hd.branches.len() as u64;
+        }
+    }
+
+    /// The actual Index Computation + Path Validation (no stats, no memo).
+    fn decode_head_uncached(&self, line: &[u8], line_base: u64, entry: usize) -> HeadDecode {
         // Phase 1: Index Computation. lengths[i] = instruction length when
         // decoding from byte i, or 0 if no valid instruction starts there.
         // An instruction is only usable on a path if it ends at or before
@@ -279,7 +340,6 @@ impl ShadowDecoder {
         }
 
         if discarded {
-            self.stats.head_regions_discarded += 1;
             return HeadDecode {
                 branches: Vec::new(),
                 valid_starts,
@@ -290,8 +350,6 @@ impl ShadowDecoder {
         if valid_starts.is_empty() {
             return HeadDecode::default();
         }
-        self.stats.head_regions_valid += 1;
-        self.stats.valid_path_sum += valid_starts.len() as u64;
 
         let chosen = match self.policy {
             IndexPolicy::First => valid_starts[0],
@@ -339,7 +397,6 @@ impl ShadowDecoder {
             }
             pos += usize::from(len);
         }
-        self.stats.head_branches += branches.len() as u64;
 
         HeadDecode {
             branches,
@@ -588,6 +645,68 @@ mod tests {
         let hd = sbd.decode_head(&line, 0, entry);
         assert_eq!(hd.chosen_start, Some(5), "paths merge at the nop");
         assert!(hd.branches.is_empty(), "merge policy skips pre-merge bytes");
+    }
+
+    #[test]
+    fn head_memo_hit_replays_identical_stats_and_result() {
+        // One valid region, one discarded region, one empty region: decode
+        // each twice and require result equality plus exactly doubled stats.
+        let valid = pad_to_line({
+            let mut b = Vec::new();
+            encode::call_rel32(&mut b, 0x40);
+            encode::nop_exact(&mut b, 3);
+            b
+        });
+        let discarded = pad_to_line(vec![0x31, 0xC3]);
+
+        let mut once = ShadowDecoder::new(IndexPolicy::First, 1);
+        let mut twice = ShadowDecoder::new(IndexPolicy::First, 1);
+        for sbd in [&mut once, &mut twice] {
+            let a = sbd.decode_head(&valid, 0x8000, 8);
+            assert_eq!(a.chosen_start, Some(0));
+            let b = sbd.decode_head(&discarded, 0x9000, 2);
+            assert!(b.discarded);
+            sbd.decode_head(&valid, 0x8000, 0);
+        }
+        // Second pass on `twice` hits the memo for every region.
+        let a2 = twice.decode_head(&valid, 0x8000, 8);
+        assert_eq!(
+            a2.branches,
+            twice.decode_head_uncached(&valid, 0x8000, 8).branches
+        );
+        let b2 = twice.decode_head(&discarded, 0x9000, 2);
+        assert!(b2.discarded);
+        twice.decode_head(&valid, 0x8000, 0);
+
+        let s1 = once.stats();
+        let s2 = twice.stats();
+        assert_eq!(s2.head_regions, 2 * s1.head_regions);
+        assert_eq!(s2.head_regions_valid, 2 * s1.head_regions_valid);
+        assert_eq!(s2.head_regions_discarded, 2 * s1.head_regions_discarded);
+        assert_eq!(s2.head_branches, 2 * s1.head_branches);
+        assert_eq!(s2.valid_path_sum, 2 * s1.valid_path_sum);
+    }
+
+    #[test]
+    fn head_memo_distinguishes_content_at_same_address() {
+        // Same (base, entry) but different bytes must not alias: the first
+        // line has a call in the head region, the second has only nops.
+        let with_call = pad_to_line({
+            let mut b = Vec::new();
+            encode::call_rel32(&mut b, 0x40);
+            encode::nop_exact(&mut b, 3);
+            b
+        });
+        let nops_only = pad_to_line({
+            let mut b = Vec::new();
+            encode::nop_exact(&mut b, 8);
+            b
+        });
+        let mut sbd = ShadowDecoder::default();
+        let a = sbd.decode_head(&with_call, 0x8000, 8);
+        assert_eq!(a.branches.len(), 1);
+        let b = sbd.decode_head(&nops_only, 0x8000, 8);
+        assert!(b.branches.is_empty(), "different content, different result");
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl SkiaConfig {
 }
 
 /// Aggregated Skia counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SkiaStats {
     /// Decoder counters.
     pub sbd: ShadowDecoderStats,

@@ -3,21 +3,62 @@
 //! that the synthetic workloads land in the paper's qualitative regime
 //! (L1-I MPKI > 10, high BTB miss L1-I residency, Skia speedups).
 
-use skia_experiments::{steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{steps_from_env, Args, StandingConfig, Sweep};
+use skia_frontend::FrontendConfig;
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
-    let names: Vec<&str> = std::env::args()
-        .skip(1)
-        .map(|s| &*s.leak())
-        .collect::<Vec<_>>();
-    let names = if names.is_empty() {
-        PAPER_BENCHMARKS.to_vec()
+    let args = Args::parse_with_names();
+    let mut em = args.emitter();
+    let names: Vec<String> = if args.names.is_empty() {
+        args.benchmarks().iter().map(|s| s.to_string()).collect()
     } else {
-        names
+        args.names.clone()
     };
+
+    let mut skia_cfg = skia_core::SkiaConfig::default();
+    if let Ok(p) = std::env::var("SKIA_POLICY") {
+        skia_cfg.index_policy = match p.as_str() {
+            "zero" => skia_core::IndexPolicy::Zero,
+            "merge" => skia_core::IndexPolicy::Merge,
+            _ => skia_core::IndexPolicy::First,
+        };
+    }
+    let verbose = std::env::var("SKIA_VERBOSE").is_ok();
+
+    // Per benchmark: base, skia, and (verbose only) the 100× SBB ceiling
+    // run, in the original serial order.
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<(usize, usize, Option<usize>)> = names
+        .iter()
+        .map(|name| {
+            let base = sweep.add(name, StandingConfig::Btb(8192).frontend(), steps);
+            let skia = sweep.add(
+                name,
+                FrontendConfig::alder_lake_like()
+                    .with_btb_entries(8192)
+                    .with_skia(skia_cfg),
+                steps,
+            );
+            let ceiling = verbose.then(|| {
+                // Rescue ceiling: a 100× SBB shows whether the limit is SBB
+                // capacity or shadow-decode opportunity.
+                let huge = skia_core::SkiaConfig {
+                    sbb: skia_core::SkiaConfig::default().sbb.scaled(100.0),
+                    ..skia_core::SkiaConfig::default()
+                };
+                sweep.add(
+                    name,
+                    FrontendConfig::alder_lake_like()
+                        .with_btb_entries(8192)
+                        .with_skia(huge),
+                    steps,
+                )
+            });
+            (base, skia, ceiling)
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!(
         "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>9} {:>8} {:>8}",
@@ -32,31 +73,16 @@ fn main() {
         "bogus",
         "condMPKI"
     );
-    for name in names {
-        let w = Workload::by_name(name);
-        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
-        let mut skia_cfg = skia_core::SkiaConfig::default();
-        if let Ok(p) = std::env::var("SKIA_POLICY") {
-            skia_cfg.index_policy = match p.as_str() {
-                "zero" => skia_core::IndexPolicy::Zero,
-                "merge" => skia_core::IndexPolicy::Merge,
-                _ => skia_core::IndexPolicy::First,
-            };
-        }
-        let skia = w.run_emit(
-            skia_frontend::FrontendConfig::alder_lake_like()
-                .with_btb_entries(8192)
-                .with_skia(skia_cfg),
-            steps,
-            &mut em,
-        );
+    for (name, &(base_id, skia_id, ceiling_id)) in names.iter().zip(&ids) {
+        let base = &stats[base_id];
+        let skia = &stats[skia_id];
         let sk = skia.skia.as_ref().expect("skia stats");
         println!(
             "{:<16} {:>7.3} {:>8.3} {:>7.2}% {:>7.1} {:>8.2} {:>7.1}% {:>9.2} {:>8} {:>8.2}",
             name,
             base.ipc(),
             skia.ipc(),
-            (skia.speedup_over(&base) - 1.0) * 100.0,
+            (skia.speedup_over(base) - 1.0) * 100.0,
             base.l1i_mpki(),
             base.btb_mpki(),
             base.btb_miss_l1i_resident_fraction() * 100.0,
@@ -64,7 +90,7 @@ fn main() {
             sk.bogus_uses,
             base.cond_mpki(),
         );
-        if std::env::var("SKIA_VERBOSE").is_ok() {
+        if let Some(ceiling_id) = ceiling_id {
             println!(
                 "    sbd: headReg={} headValid={} headDisc={} headBr={} tailReg={} tailBr={}",
                 sk.sbd.head_regions,
@@ -92,17 +118,7 @@ fn main() {
                 base.btb_miss_rescuable,
                 base.wrong_path_blocks
             );
-            // Rescue ceiling: a 100× SBB shows whether the limit is SBB
-            // capacity or shadow-decode opportunity.
-            let mut huge = skia_core::SkiaConfig::default();
-            huge.sbb = huge.sbb.scaled(100.0);
-            let ceiling = w.run_emit(
-                skia_frontend::FrontendConfig::alder_lake_like()
-                    .with_btb_entries(8192)
-                    .with_skia(huge),
-                steps,
-                &mut em,
-            );
+            let ceiling = &stats[ceiling_id];
             println!(
                 "    ceiling: rescues/KI={:.2} (rescuable/KI={:.2}, seenBefore/KI={:.2})",
                 ceiling.sbb_rescues as f64 * 1000.0 / ceiling.instructions as f64,

@@ -8,15 +8,16 @@
 
 use std::collections::{HashMap, HashSet};
 
-use skia_experiments::{steps_from_env, JsonEmitter, Workload};
+use skia_experiments::{steps_from_env, workload, Args};
 use skia_frontend::FrontendConfig;
 use skia_workloads::Walker;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tpcc".into());
+    let args = Args::parse_with_names();
+    let name = args.names.first().cloned().unwrap_or_else(|| "tpcc".into());
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
-    let w = Workload::by_name(&name);
+    let mut em = args.emitter();
+    let w = workload(&name);
     let program = &w.program;
 
     // Pass 1: execution frequency of every block (oracle trace walk).

@@ -5,13 +5,26 @@
 //! Paper's headline observation: at 8K entries ~75% of BTB misses are
 //! resident in the L1-I.
 
-use skia_experiments::{f2, pct, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{f2, pct, row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
     let sizes = [1024usize, 2048, 4096, 8192, 16384];
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<Vec<usize>> = sizes
+        .iter()
+        .map(|&entries| {
+            benches
+                .iter()
+                .map(|name| sweep.add(name, StandingConfig::Btb(entries).frontend(), steps))
+                .collect()
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 1: BTB MPKI and L1-I-resident fraction vs BTB size\n");
     row(&[
@@ -22,16 +35,14 @@ fn main() {
     ]);
     row(&["---".into(), "---".into(), "---".into(), "---".into()]);
 
-    for entries in sizes {
+    for (si, entries) in sizes.iter().enumerate() {
         let mut mpki_sum = 0.0;
         let mut res_sum = 0.0;
-        for name in PAPER_BENCHMARKS {
-            let w = Workload::by_name(name);
-            let stats = w.run_emit(StandingConfig::Btb(entries).frontend(), steps, &mut em);
-            mpki_sum += stats.btb_mpki();
-            res_sum += stats.btb_miss_l1i_resident_mpki();
+        for &id in &ids[si] {
+            mpki_sum += stats[id].btb_mpki();
+            res_sum += stats[id].btb_miss_l1i_resident_mpki();
         }
-        let n = PAPER_BENCHMARKS.len() as f64;
+        let n = benches.len().max(1) as f64;
         let mpki = mpki_sum / n;
         let res = res_sum / n;
         row(&[

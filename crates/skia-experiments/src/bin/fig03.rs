@@ -5,39 +5,53 @@
 //! Paper's shape: Skia beats spending the same 12.25 KB on BTB entries at
 //! every size until saturation near the infinite-BTB ceiling.
 
-use skia_experiments::{f2, geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_frontend::SimStats;
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{f2, geomean, row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
     let sizes = [4096usize, 8192, 16384, 32768];
 
+    let mut sweep = Sweep::from_args(&args);
     // Reference: 4K-entry plain BTB per benchmark.
-    let workloads: Vec<Workload> = PAPER_BENCHMARKS
+    let ref_ids: Vec<usize> = benches
         .iter()
-        .map(|n| Workload::by_name(n))
+        .map(|n| sweep.add(n, StandingConfig::Btb(4096).frontend(), steps))
         .collect();
-    let reference: Vec<SimStats> = workloads
+    let inf_ids: Vec<usize> = benches
         .iter()
-        .map(|w| w.run_emit(StandingConfig::Btb(4096).frontend(), steps, &mut em))
+        .map(|n| sweep.add(n, StandingConfig::Infinite.frontend(), steps))
         .collect();
-
-    let geo_speedup = |configs: &[SimStats]| -> f64 {
-        geomean(
-            configs
+    let size_ids: Vec<[Vec<usize>; 3]> = sizes
+        .iter()
+        .map(|&entries| {
+            let btb = benches
                 .iter()
-                .zip(&reference)
-                .map(|(c, r)| c.speedup_over(r)),
+                .map(|n| sweep.add(n, StandingConfig::Btb(entries).frontend(), steps))
+                .collect();
+            let grown = benches
+                .iter()
+                .map(|n| sweep.add(n, StandingConfig::BtbPlusBudget(entries).frontend(), steps))
+                .collect();
+            let skia = benches
+                .iter()
+                .map(|n| sweep.add(n, StandingConfig::BtbPlusSkia(entries).frontend(), steps))
+                .collect();
+            [btb, grown, skia]
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
+
+    let geo_speedup = |ids: &[usize]| -> f64 {
+        geomean(
+            ids.iter()
+                .zip(&ref_ids)
+                .map(|(&c, &r)| stats[c].speedup_over(&stats[r])),
         )
     };
-
-    let infinite: Vec<SimStats> = workloads
-        .iter()
-        .map(|w| w.run_emit(StandingConfig::Infinite.frontend(), steps, &mut em))
-        .collect();
-    let inf_speedup = geo_speedup(&infinite);
+    let inf_speedup = geo_speedup(&inf_ids);
 
     println!("# Figure 3: geomean speedup over 4K-entry BTB\n");
     row(&[
@@ -49,36 +63,12 @@ fn main() {
     ]);
     row(&vec!["---".to_string(); 5]);
 
-    for entries in sizes {
-        let btb: Vec<SimStats> = workloads
-            .iter()
-            .map(|w| w.run_emit(StandingConfig::Btb(entries).frontend(), steps, &mut em))
-            .collect();
-        let grown: Vec<SimStats> = workloads
-            .iter()
-            .map(|w| {
-                w.run_emit(
-                    StandingConfig::BtbPlusBudget(entries).frontend(),
-                    steps,
-                    &mut em,
-                )
-            })
-            .collect();
-        let skia: Vec<SimStats> = workloads
-            .iter()
-            .map(|w| {
-                w.run_emit(
-                    StandingConfig::BtbPlusSkia(entries).frontend(),
-                    steps,
-                    &mut em,
-                )
-            })
-            .collect();
+    for (entries, [btb, grown, skia]) in sizes.iter().zip(&size_ids) {
         row(&[
             format!("{entries}"),
-            f2(geo_speedup(&btb)),
-            f2(geo_speedup(&grown)),
-            f2(geo_speedup(&skia)),
+            f2(geo_speedup(btb)),
+            f2(geo_speedup(grown)),
+            f2(geo_speedup(skia)),
             f2(inf_speedup),
         ]);
     }

@@ -5,13 +5,21 @@
 //! OLTP workloads (voter, sibench) are call/return heavy; kafka is
 //! conditional-heavy.
 
-use skia_experiments::{row, steps_from_env, JsonEmitter, StandingConfig, Workload};
+use skia_experiments::{row, steps_from_env, Args, StandingConfig, Sweep};
 use skia_isa::BranchKind;
-use skia_workloads::profiles::PAPER_BENCHMARKS;
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<usize> = benches
+        .iter()
+        .map(|name| sweep.add(name, StandingConfig::Btb(8192).frontend(), steps))
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 6: BTB misses by type (8K-entry BTB), % of each benchmark's misses\n");
     let mut header = vec!["benchmark".to_string(), "MPKI".to_string()];
@@ -19,15 +27,14 @@ fn main() {
     row(&header);
     row(&vec!["---".to_string(); header.len()]);
 
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let stats = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
-        let total = stats.btb_misses.max(1) as f64;
-        let mut cells = vec![name.to_string(), format!("{:.2}", stats.btb_mpki())];
+    for (name, &id) in benches.iter().zip(&ids) {
+        let s = &stats[id];
+        let total = s.btb_misses.max(1) as f64;
+        let mut cells = vec![name.to_string(), format!("{:.2}", s.btb_mpki())];
         for kind in BranchKind::ALL {
             cells.push(format!(
                 "{:.1}%",
-                stats.btb_misses_of(kind) as f64 * 100.0 / total
+                s.btb_misses_of(kind) as f64 * 100.0 / total
             ));
         }
         row(&cells);

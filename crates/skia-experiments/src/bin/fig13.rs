@@ -10,13 +10,26 @@
 //! in for the checkpointed gem5 window). Divergence between the two shows
 //! how representative the measurement window is.
 
-use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{f2, row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
     let long_steps = steps * 4;
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<(usize, usize)> = benches
+        .iter()
+        .map(|name| {
+            (
+                sweep.add(name, StandingConfig::Btb(8192).frontend(), long_steps),
+                sweep.add(name, StandingConfig::Btb(8192).frontend(), steps),
+            )
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 13: L1-I MPKI, reference (long-horizon) vs measured (window)\n");
     row(&[
@@ -29,12 +42,9 @@ fn main() {
 
     let mut ref_total = 0.0;
     let mut meas_total = 0.0;
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let reference = w.run_emit(StandingConfig::Btb(8192).frontend(), long_steps, &mut em);
-        let measured = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
-        let r = reference.l1i_mpki();
-        let m = measured.l1i_mpki();
+    for (name, &(long_id, short_id)) in benches.iter().zip(&ids) {
+        let r = stats[long_id].l1i_mpki();
+        let m = stats[short_id].l1i_mpki();
         ref_total += r;
         meas_total += m;
         let div = if r > 0.0 { (m - r).abs() / r } else { 0.0 };

@@ -7,12 +7,56 @@
 //! speedometer2.0) gain least; voter and sibench gain most.
 
 use skia_core::SkiaConfig;
-use skia_experiments::{geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{geomean, row, steps_from_env, Args, StandingConfig, Sweep};
+use skia_frontend::FrontendConfig;
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    let variant_cfg = |v: SkiaConfig| {
+        FrontendConfig::alder_lake_like()
+            .with_btb_entries(8192)
+            .with_skia(v)
+    };
+    // Base + head-only + tail-only + combined, in the fixed serial order.
+    let add_variants = |sweep: &mut Sweep, name: &str| -> [usize; 4] {
+        [
+            sweep.add(name, StandingConfig::Btb(8192).frontend(), steps),
+            sweep.add(name, variant_cfg(SkiaConfig::head_only()), steps),
+            sweep.add(name, variant_cfg(SkiaConfig::tail_only()), steps),
+            sweep.add(name, variant_cfg(SkiaConfig::default()), steps),
+        ]
+    };
+
+    let mut sweep = Sweep::from_args(&args);
+    let main_ids: Vec<([usize; 4], usize)> = benches
+        .iter()
+        .map(|name| {
+            let variants = add_variants(&mut sweep, name);
+            // Bogus-rate bookkeeping comes from a separate combined run with
+            // full telemetry, matching the original serial sequence.
+            let combined = sweep.add(name, StandingConfig::BtbPlusSkia(8192).frontend(), steps);
+            (variants, combined)
+        })
+        .collect();
+    let bolt_names = args.filter_names(&["verilator", "verilator_prebolt"]);
+    let bolt_ids: Vec<[usize; 4]> = bolt_names
+        .iter()
+        .map(|name| add_variants(&mut sweep, name))
+        .collect();
+    let stats = sweep.run(&mut em);
+
+    let speedups_of = |ids: &[usize; 4]| -> [f64; 3] {
+        let base = &stats[ids[0]];
+        [
+            stats[ids[1]].speedup_over(base),
+            stats[ids[2]].speedup_over(base),
+            stats[ids[3]].speedup_over(base),
+        ]
+    };
 
     println!("# Figure 14: IPC gain over 8K-entry (78KB) BTB\n");
     row(&[
@@ -26,33 +70,9 @@ fn main() {
     let mut speedups: Vec<[f64; 3]> = Vec::new();
     let mut bogus_uses = 0u64;
     let mut inserts = 0u64;
-    let run_variants = |w: &Workload, em: &mut JsonEmitter| -> [f64; 3] {
-        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, em);
-        let variants = [
-            SkiaConfig::head_only(),
-            SkiaConfig::tail_only(),
-            SkiaConfig::default(),
-        ];
-        let mut out = [0.0; 3];
-        for (i, v) in variants.into_iter().enumerate() {
-            let s = w.run_emit(
-                skia_frontend::FrontendConfig::alder_lake_like()
-                    .with_btb_entries(8192)
-                    .with_skia(v),
-                steps,
-                em,
-            );
-            out[i] = s.speedup_over(&base);
-        }
-        out
-    };
-
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let s = run_variants(&w, &mut em);
-        // Bogus-rate bookkeeping from the combined run.
-        let combined = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
-        if let Some(sk) = &combined.skia {
+    for (name, &(variant_ids, combined_id)) in benches.iter().zip(&main_ids) {
+        let s = speedups_of(&variant_ids);
+        if let Some(sk) = &stats[combined_id].skia {
             bogus_uses += sk.bogus_uses;
             inserts += sk.sbb.u_inserts + sk.sbb.r_inserts;
         }
@@ -79,9 +99,8 @@ fn main() {
 
     // §6.1.4: verilator pre-BOLT vs bolted.
     println!("\n## §6.1.4: verilator BOLT sensitivity");
-    for name in ["verilator", "verilator_prebolt"] {
-        let w = Workload::by_name(name);
-        let s = run_variants(&w, &mut em);
+    for (name, ids) in bolt_names.iter().zip(&bolt_ids) {
+        let s = speedups_of(ids);
         println!(
             "{name:<20} combined Skia speedup {:+.2}%",
             (s[2] - 1.0) * 100.0

@@ -2,12 +2,20 @@
 //! missing branch's cache line was L1-I-resident at prediction time
 //! (8K-entry BTB).
 
-use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{f2, row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<usize> = benches
+        .iter()
+        .map(|name| sweep.add(name, StandingConfig::Btb(8192).frontend(), steps))
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 15: BTB misses with L1-I-resident lines (8K BTB)\n");
     row(&[
@@ -21,9 +29,8 @@ fn main() {
 
     let mut res_total = 0u64;
     let mut miss_total = 0u64;
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let s = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
+    for (name, &id) in benches.iter().zip(&ids) {
+        let s = &stats[id];
         res_total += s.btb_miss_l1i_resident;
         miss_total += s.btb_misses;
         row(&[

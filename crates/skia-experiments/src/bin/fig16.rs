@@ -7,12 +7,26 @@
 //! though the BTB still missed, so the Skia column reports *effective*
 //! misses (misses that actually disturbed the front-end).
 
-use skia_experiments::{f2, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{f2, row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<[usize; 3]> = benches
+        .iter()
+        .map(|name| {
+            [
+                sweep.add(name, StandingConfig::Btb(8192).frontend(), steps),
+                sweep.add(name, StandingConfig::BtbPlusBudget(8192).frontend(), steps),
+                sweep.add(name, StandingConfig::BtbPlusSkia(8192).frontend(), steps),
+            ]
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 16: BTB miss MPKI per benchmark (8K baseline)\n");
     row(&[
@@ -24,15 +38,10 @@ fn main() {
     row(&vec!["---".to_string(); 4]);
 
     let mut sums = [0.0f64; 3];
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
-        let grown = w.run_emit(
-            StandingConfig::BtbPlusBudget(8192).frontend(),
-            steps,
-            &mut em,
-        );
-        let skia = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
+    for (name, &[base_id, grown_id, skia_id]) in benches.iter().zip(&ids) {
+        let base = &stats[base_id];
+        let grown = &stats[grown_id];
+        let skia = &stats[skia_id];
         let effective =
             (skia.btb_misses - skia.sbb_rescues) as f64 * 1000.0 / skia.instructions as f64;
         sums[0] += base.btb_mpki();
@@ -45,7 +54,7 @@ fn main() {
             f2(effective),
         ]);
     }
-    let n = PAPER_BENCHMARKS.len() as f64;
+    let n = benches.len().max(1) as f64;
     row(&[
         "**mean**".into(),
         f2(sums[0] / n),

@@ -5,30 +5,57 @@
 //! paper's preferred U:R entry ratio, to find the saturation point.
 
 use skia_core::{SbbConfig, SkiaConfig};
-use skia_experiments::{geomean, row, steps_from_env, JsonEmitter, StandingConfig, Workload};
+use skia_experiments::{geomean, row, steps_from_env, Args, StandingConfig, Sweep};
 use skia_frontend::FrontendConfig;
-use skia_workloads::profiles::PAPER_BENCHMARKS;
-
-fn geo_speedup(sbb: SbbConfig, steps: usize, em: &mut JsonEmitter) -> f64 {
-    let mut ratios = Vec::new();
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, em);
-        let cfg = FrontendConfig::alder_lake_like()
-            .with_btb_entries(8192)
-            .with_skia(SkiaConfig {
-                sbb,
-                ..SkiaConfig::default()
-            });
-        let s = w.run_emit(cfg, steps, em);
-        ratios.push(s.speedup_over(&base));
-    }
-    (geomean(ratios) - 1.0) * 100.0
-}
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    // Per SBB configuration: (base, skia) job ids per benchmark, enumerated
+    // in the fixed serial order (base then skia, benchmark by benchmark).
+    let mut sweep = Sweep::from_args(&args);
+    let add_config = |sweep: &mut Sweep, sbb: SbbConfig| -> Vec<(usize, usize)> {
+        benches
+            .iter()
+            .map(|name| {
+                let base = sweep.add(name, StandingConfig::Btb(8192).frontend(), steps);
+                let cfg = FrontendConfig::alder_lake_like()
+                    .with_btb_entries(8192)
+                    .with_skia(SkiaConfig {
+                        sbb,
+                        ..SkiaConfig::default()
+                    });
+                (base, sweep.add(name, cfg, steps))
+            })
+            .collect()
+    };
+
+    let shares = [0.2, 0.4, 7.3125 / 12.25, 0.8];
+    let share_ids: Vec<(SbbConfig, Vec<(usize, usize)>)> = shares
+        .iter()
+        .map(|&share| {
+            let sbb = SbbConfig::with_budget(12.25, share, 4);
+            let ids = add_config(&mut sweep, sbb);
+            (sbb, ids)
+        })
+        .collect();
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let factor_ids: Vec<(SbbConfig, Vec<(usize, usize)>)> = factors
+        .iter()
+        .map(|&factor| {
+            let sbb = SbbConfig::default().scaled(factor);
+            let ids = add_config(&mut sweep, sbb);
+            (sbb, ids)
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
+
+    let geo_pct = |ids: &[(usize, usize)]| -> f64 {
+        (geomean(ids.iter().map(|&(b, s)| stats[s].speedup_over(&stats[b]))) - 1.0) * 100.0
+    };
 
     println!("# Figure 17 (top): U-SBB/R-SBB split at constant 12.25 KB\n");
     row(&[
@@ -38,14 +65,12 @@ fn main() {
         "geomean speedup".into(),
     ]);
     row(&vec!["---".to_string(); 4]);
-    for share in [0.2, 0.4, 7.3125 / 12.25, 0.8] {
-        let sbb = SbbConfig::with_budget(12.25, share, 4);
-        let s = geo_speedup(sbb, steps, &mut em);
+    for (share, (sbb, ids)) in shares.iter().zip(&share_ids) {
         row(&[
             format!("{:.0}%", share * 100.0),
             format!("{}", sbb.u_entries),
             format!("{}", sbb.r_entries),
-            format!("{s:+.2}%"),
+            format!("{:+.2}%", geo_pct(ids)),
         ]);
     }
 
@@ -56,13 +81,11 @@ fn main() {
         "geomean speedup".into(),
     ]);
     row(&vec!["---".to_string(); 3]);
-    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let sbb = SbbConfig::default().scaled(factor);
-        let s = geo_speedup(sbb, steps, &mut em);
+    for (factor, (sbb, ids)) in factors.iter().zip(&factor_ids) {
         row(&[
             format!("{factor}x"),
             format!("{:.2}", sbb.storage_kb()),
-            format!("{s:+.2}%"),
+            format!("{:+.2}%", geo_pct(ids)),
         ]);
     }
     em.finish();

@@ -4,12 +4,25 @@
 //! Paper's shape: voter and sibench show the largest reductions thanks to
 //! their high direct-call/return frequency (§6.3).
 
-use skia_experiments::{row, steps_from_env, JsonEmitter, StandingConfig, Workload};
-use skia_workloads::profiles::PAPER_BENCHMARKS;
+use skia_experiments::{row, steps_from_env, Args, StandingConfig, Sweep};
 
 fn main() {
     let steps = steps_from_env();
-    let mut em = JsonEmitter::from_args();
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let benches = args.benchmarks();
+
+    let mut sweep = Sweep::from_args(&args);
+    let ids: Vec<(usize, usize)> = benches
+        .iter()
+        .map(|name| {
+            (
+                sweep.add(name, StandingConfig::Btb(8192).frontend(), steps),
+                sweep.add(name, StandingConfig::BtbPlusSkia(8192).frontend(), steps),
+            )
+        })
+        .collect();
+    let stats = sweep.run(&mut em);
 
     println!("# Figure 18: decoder idle-cycle reduction with Skia (8K BTB)\n");
     row(&[
@@ -20,10 +33,9 @@ fn main() {
     ]);
     row(&vec!["---".to_string(); 4]);
 
-    for name in PAPER_BENCHMARKS {
-        let w = Workload::by_name(name);
-        let base = w.run_emit(StandingConfig::Btb(8192).frontend(), steps, &mut em);
-        let skia = w.run_emit(StandingConfig::BtbPlusSkia(8192).frontend(), steps, &mut em);
+    for (name, &(base_id, skia_id)) in benches.iter().zip(&ids) {
+        let base = &stats[base_id];
+        let skia = &stats[skia_id];
         let b = base.decoder_idle_cycles() as f64 * 1000.0 / base.instructions as f64;
         let s = skia.decoder_idle_cycles() as f64 * 1000.0 / skia.instructions as f64;
         row(&[

@@ -2,10 +2,14 @@
 //! configuration objects (so the table cannot drift from the code).
 
 use skia_core::SkiaConfig;
-use skia_experiments::row;
+use skia_experiments::{row, Args};
 use skia_frontend::{BtbMode, FrontendConfig};
 
 fn main() {
+    // No simulations here; parsing still validates flags (and rejects
+    // unknown ones) so all figure binaries share one CLI surface.
+    let args = Args::parse();
+    let mut em = args.emitter();
     let c = FrontendConfig::alder_lake_like();
     let skia = SkiaConfig::default();
 
@@ -87,4 +91,5 @@ fn main() {
             c.exec_detect, c.decode_repair
         ),
     ]);
+    em.finish();
 }

@@ -1,10 +1,15 @@
 //! Table 2: the benchmark suite, with the generated-programs' footprints.
 
-use skia_experiments::row;
+use skia_experiments::{row, Args};
 use skia_workloads::profiles::{profile, PAPER_BENCHMARKS};
-use skia_workloads::Program;
 
 fn main() {
+    let args = Args::parse();
+    let mut em = args.emitter();
+    let mut all: Vec<&str> = PAPER_BENCHMARKS.to_vec();
+    all.push("verilator_prebolt");
+    let names = args.filter_names(&all);
+
     println!("# Table 2: benchmarks (synthetic profiles standing in for the paper's suite)\n");
     row(&[
         "benchmark".into(),
@@ -16,11 +21,9 @@ fn main() {
     ]);
     row(&vec!["---".to_string(); 6]);
 
-    let mut names: Vec<&str> = PAPER_BENCHMARKS.to_vec();
-    names.push("verilator_prebolt");
     for name in names {
         let p = profile(name).expect("known benchmark");
-        let prog = Program::generate(&p.spec);
+        let prog = skia_workloads::load_or_generate(&p.spec);
         row(&[
             p.name.to_string(),
             p.suite.to_string(),
@@ -30,4 +33,5 @@ fn main() {
             format!("{:?}", p.spec.layout),
         ]);
     }
+    em.finish();
 }

@@ -6,14 +6,18 @@
 //! common machinery: workload caching, configuration construction, and
 //! report formatting.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use skia_core::SkiaConfig;
 use skia_frontend::{FrontendConfig, SimStats, Simulator};
 use skia_telemetry::{Snapshot, TraceConfig};
+use skia_workloads::profiles::PAPER_BENCHMARKS;
 use skia_workloads::{profile, Profile, Program, Walker};
 
 pub use skia_frontend::stats::geomean;
+pub use skia_runner::{thread_count, SweepReport};
 
 /// Default trace length (true-path basic blocks) per benchmark run.
 ///
@@ -50,7 +54,7 @@ impl Workload {
     #[must_use]
     pub fn by_name(name: &str) -> Workload {
         let profile = profile(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        let program = Program::generate(&profile.spec);
+        let program = skia_workloads::load_or_generate(&profile.spec);
         Workload { profile, program }
     }
 
@@ -107,6 +111,284 @@ impl Workload {
     }
 }
 
+/// Process-wide [`Workload`] memo keyed by benchmark name.
+///
+/// Figure binaries sweep many configurations over the same 16 benchmarks;
+/// the workload (profile + generated program image) is identical across
+/// configurations and across sweep worker threads, so it is materialized
+/// once per process and shared by `Arc`. Each name gets its own cell so
+/// distinct benchmarks can generate concurrently while a second request for
+/// the *same* name blocks on the first instead of duplicating the work.
+#[must_use]
+pub fn workload(name: &str) -> Arc<Workload> {
+    type Cell = Arc<OnceLock<Arc<Workload>>>;
+    static MEMO: OnceLock<Mutex<HashMap<String, Cell>>> = OnceLock::new();
+    let cell = {
+        let mut map = MEMO
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("workload memo poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    };
+    cell.get_or_init(|| Arc::new(Workload::by_name(name)))
+        .clone()
+}
+
+/// Parsed command line of an experiment binary.
+///
+/// Every binary accepts the same flags; unknown flags are fatal (a typo'd
+/// `--emit-jsonn` used to silently run uninstrumented):
+///
+/// * `--emit-json <path>` — write the merged telemetry snapshot to `path`.
+/// * `--bench <name>` — restrict the sweep to one benchmark.
+/// * `--threads <n>` — worker threads (overrides `SKIA_THREADS`; default
+///   [`std::thread::available_parallelism`]).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// `--emit-json` target, if given.
+    pub emit_json: Option<PathBuf>,
+    /// `--bench` filter, if given (validated against the known profiles).
+    pub bench: Option<String>,
+    /// `--threads` override, if given.
+    pub threads: Option<usize>,
+    /// Positional benchmark names (only binaries using
+    /// [`Args::parse_with_names`] accept these).
+    pub names: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments; positional arguments are rejected.
+    #[must_use]
+    pub fn parse() -> Args {
+        Self::parse_impl(false)
+    }
+
+    /// Parse the process arguments, collecting positional benchmark names
+    /// into [`Args::names`] (used by `calibrate` and the probes).
+    #[must_use]
+    pub fn parse_with_names() -> Args {
+        Self::parse_impl(true)
+    }
+
+    fn parse_impl(allow_names: bool) -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&argv, allow_names) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: {} [--emit-json <path>] [--bench <name>] [--threads <n>]{}",
+                    std::env::args()
+                        .next()
+                        .unwrap_or_else(|| "experiment".into()),
+                    if allow_names { " [benchmark...]" } else { "" },
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The testable core: parse an argument list, returning a message for
+    /// the first unknown flag, missing value, or invalid benchmark.
+    fn parse_from(argv: &[String], allow_names: bool) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        let take = |flag: &str,
+                    inline: Option<&str>,
+                    it: &mut std::slice::Iter<String>|
+         -> Result<String, String> {
+            match inline {
+                Some(v) if !v.is_empty() => Ok(v.to_string()),
+                Some(_) => Err(format!("{flag} given an empty value")),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value")),
+            }
+        };
+        while let Some(a) = it.next() {
+            if a == "--emit-json" || a.starts_with("--emit-json=") {
+                let v = take("--emit-json", a.strip_prefix("--emit-json="), &mut it)?;
+                args.emit_json = Some(PathBuf::from(v));
+            } else if a == "--bench" || a.starts_with("--bench=") {
+                let v = take("--bench", a.strip_prefix("--bench="), &mut it)?;
+                if profile(&v).is_none() {
+                    return Err(format!(
+                        "--bench {v}: unknown benchmark (known: {})",
+                        skia_workloads::profile_names().join(", ")
+                    ));
+                }
+                args.bench = Some(v);
+            } else if a == "--threads" || a.starts_with("--threads=") {
+                let v = take("--threads", a.strip_prefix("--threads="), &mut it)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads {v}: not a positive integer"))?;
+                if n == 0 {
+                    return Err("--threads 0: need at least one thread".into());
+                }
+                args.threads = Some(n);
+            } else if a.starts_with('-') {
+                return Err(format!("unknown flag {a}"));
+            } else if allow_names {
+                args.names.push(a.clone());
+            } else {
+                return Err(format!("unexpected argument {a}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The paper's 16 benchmarks, restricted by `--bench` when given.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<&'static str> {
+        self.filter_names(&PAPER_BENCHMARKS)
+    }
+
+    /// Restrict an arbitrary benchmark list by the `--bench` filter.
+    #[must_use]
+    pub fn filter_names(&self, all: &[&'static str]) -> Vec<&'static str> {
+        match &self.bench {
+            None => all.to_vec(),
+            Some(b) => all.iter().copied().filter(|n| n == b).collect(),
+        }
+    }
+
+    /// Resolved worker-thread count (`--threads` > `SKIA_THREADS` > cores).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        skia_runner::thread_count(self.threads)
+    }
+
+    /// Build the [`JsonEmitter`] for this invocation.
+    #[must_use]
+    pub fn emitter(&self) -> JsonEmitter {
+        JsonEmitter {
+            path: self.emit_json.clone(),
+            merged: Snapshot::default(),
+            runs: 0,
+        }
+    }
+}
+
+/// One queued simulation of a [`Sweep`].
+#[derive(Debug, Clone)]
+struct SweepJob {
+    bench: String,
+    config: FrontendConfig,
+    steps: usize,
+}
+
+/// A deferred (benchmark × config) sweep executed on the [`skia_runner`]
+/// thread pool.
+///
+/// Usage contract for byte-identical output: `add` jobs in exactly the
+/// order a serial binary would run them, then call [`Sweep::run`] once and
+/// index the returned stats by the job ids `add` handed back. Results are
+/// collected and telemetry snapshots are merged in job order, so stdout
+/// tables and `--emit-json` payloads are independent of the thread count.
+#[derive(Debug)]
+pub struct Sweep {
+    threads: usize,
+    quiet: bool,
+    jobs: Vec<SweepJob>,
+}
+
+impl Sweep {
+    /// An empty sweep that will run on `threads` workers.
+    #[must_use]
+    pub fn new(threads: usize) -> Sweep {
+        Sweep {
+            threads,
+            quiet: false,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// An empty sweep sized by the parsed [`Args`].
+    #[must_use]
+    pub fn from_args(args: &Args) -> Sweep {
+        Sweep::new(args.thread_count())
+    }
+
+    /// Suppress the stderr timing summary (benches and tests).
+    #[must_use]
+    pub fn quiet(mut self) -> Sweep {
+        self.quiet = true;
+        self
+    }
+
+    /// Queue one run; the returned id indexes [`Sweep::run`]'s result
+    /// vector.
+    pub fn add(&mut self, bench: &str, config: FrontendConfig, steps: usize) -> usize {
+        self.jobs.push(SweepJob {
+            bench: bench.to_string(),
+            config,
+            steps,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute every queued job and return their stats in job order,
+    /// merging telemetry into `emitter` (also in job order) when it is
+    /// enabled. Prints a runs/sec summary — and per-run wall times under
+    /// `SKIA_VERBOSE` — to stderr, never stdout.
+    pub fn run(self, emitter: &mut JsonEmitter) -> Vec<SimStats> {
+        let tc = emitter.trace_config();
+        let (timed, report) = skia_runner::run_timed(&self.jobs, self.threads, |_, job| {
+            let w = workload(&job.bench);
+            match tc {
+                None => (w.run(job.config.clone(), job.steps), None),
+                Some(tc) => {
+                    let (stats, snapshot) =
+                        w.run_instrumented(job.config.clone(), job.steps, Some(tc));
+                    (stats, Some(snapshot))
+                }
+            }
+        });
+        if !self.quiet && std::env::var("SKIA_VERBOSE").is_ok() {
+            for (i, (t, job)) in timed.iter().zip(&self.jobs).enumerate() {
+                eprintln!(
+                    "sweep[{i}]: {} {} steps in {:.3}s",
+                    job.bench,
+                    job.steps,
+                    t.wall.as_secs_f64()
+                );
+            }
+        }
+        let mut out = Vec::with_capacity(timed.len());
+        for t in timed {
+            let (stats, snapshot) = t.value;
+            if let Some(snapshot) = &snapshot {
+                emitter.record(snapshot);
+            }
+            out.push(stats);
+        }
+        if !self.quiet && report.runs > 0 {
+            eprintln!("sweep: {}", report.summary());
+        }
+        out
+    }
+
+    /// [`Sweep::run`] without telemetry (tests and benches).
+    #[must_use]
+    pub fn run_collect(self) -> Vec<SimStats> {
+        self.run(&mut JsonEmitter::default())
+    }
+}
+
 /// `--emit-json <path>` handling for the experiment binaries.
 ///
 /// When the flag is present, every [`Workload::run_emit`] call runs
@@ -130,32 +412,12 @@ impl JsonEmitter {
         sample_every: 64,
     };
 
-    /// Build an emitter from the process arguments (`--emit-json <path>` or
-    /// `--emit-json=<path>`). Unknown arguments are ignored — figure
-    /// binaries have no other flags.
+    /// Build an emitter from the process arguments via the strict [`Args`]
+    /// parser: `--emit-json <path>` (or `=`-joined) enables emission, and
+    /// any unknown flag or stray positional exits with a usage message.
     #[must_use]
     pub fn from_args() -> JsonEmitter {
-        let mut args = std::env::args().skip(1);
-        let mut path = None;
-        while let Some(a) = args.next() {
-            if a == "--emit-json" {
-                path = args.next().map(PathBuf::from);
-                if path.is_none() {
-                    eprintln!("warning: --emit-json given without a path; telemetry disabled");
-                }
-            } else if let Some(p) = a.strip_prefix("--emit-json=") {
-                path = Some(PathBuf::from(p));
-            }
-        }
-        if path.as_ref().is_some_and(|p| p.as_os_str().is_empty()) {
-            eprintln!("warning: --emit-json= with an empty path; telemetry disabled");
-            path = None;
-        }
-        JsonEmitter {
-            path,
-            merged: Snapshot::default(),
-            runs: 0,
-        }
+        Args::parse().emitter()
     }
 
     /// Whether `--emit-json` was given.
@@ -251,4 +513,95 @@ pub fn f2(v: f64) -> String {
 #[must_use]
 pub fn pct(v: f64) -> String {
     format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        Args::parse_from(&argv, false)
+    }
+
+    #[test]
+    fn args_parse_all_flags() {
+        let a = parse(&[
+            "--emit-json",
+            "out.json",
+            "--bench",
+            "tpcc",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.emit_json.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert_eq!(a.bench.as_deref(), Some("tpcc"));
+        assert_eq!(a.threads, Some(3));
+        let a = parse(&["--emit-json=o.json", "--bench=kafka", "--threads=2"]).unwrap();
+        assert_eq!(a.bench.as_deref(), Some("kafka"));
+        assert_eq!(a.threads, Some(2));
+    }
+
+    #[test]
+    fn args_reject_unknown_flags_and_bad_values() {
+        assert!(
+            parse(&["--emit-jsonn", "x"]).is_err(),
+            "typo'd flag is fatal"
+        );
+        assert!(
+            parse(&["--bench", "nonesuch"]).is_err(),
+            "unknown benchmark"
+        );
+        assert!(parse(&["--threads", "zero"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--emit-json"]).is_err(), "missing value");
+        assert!(parse(&["--emit-json="]).is_err(), "empty value");
+        assert!(parse(&["stray"]).is_err(), "positional without names mode");
+    }
+
+    #[test]
+    fn args_names_mode_collects_positionals() {
+        let argv: Vec<String> = vec!["tpcc".into(), "voter".into()];
+        let a = Args::parse_from(&argv, true).unwrap();
+        assert_eq!(a.names, vec!["tpcc", "voter"]);
+    }
+
+    #[test]
+    fn bench_filter_restricts_lists() {
+        let a = parse(&["--bench", "tpcc"]).unwrap();
+        assert_eq!(a.benchmarks(), vec!["tpcc"]);
+        assert_eq!(a.filter_names(&["kafka", "dotty"]), Vec::<&str>::new());
+        let none = parse(&[]).unwrap();
+        assert_eq!(none.benchmarks().len(), PAPER_BENCHMARKS.len());
+    }
+
+    #[test]
+    fn workload_memo_returns_shared_instance() {
+        let a = workload("tpcc");
+        let b = workload("tpcc");
+        assert!(Arc::ptr_eq(&a, &b), "same name, same materialization");
+    }
+
+    #[test]
+    fn sweep_matches_direct_runs_and_is_thread_invariant() {
+        let config = FrontendConfig::test_small();
+        let steps = 2_000;
+        let direct = workload("tpcc").run(config.clone(), steps);
+
+        for threads in [1, 4] {
+            let mut sweep = Sweep::new(threads).quiet();
+            let a = sweep.add("tpcc", config.clone(), steps);
+            let b = sweep.add("voter", config.clone(), steps);
+            let c = sweep.add("tpcc", config.clone(), steps);
+            let stats = sweep.run_collect();
+            assert_eq!(stats.len(), 3);
+            assert_eq!(stats[a], direct, "threads={threads}");
+            assert_eq!(stats[a], stats[c], "identical jobs, identical stats");
+            assert_ne!(stats[a], stats[b], "different benchmarks differ");
+        }
+    }
 }

@@ -32,6 +32,42 @@ use crate::telemetry::FrontendTelemetry;
 /// throughput).
 const AVG_INSN_BYTES: u64 = 4;
 
+/// Most cache lines one predicted block can span: `max_block_bytes` of scan
+/// window plus a ≤15-byte terminator straddling one more line boundary —
+/// 3 lines at the standing 64-byte window, with one spare.
+const MAX_BLOCK_LINES: usize = 4;
+
+/// The (line address, pre-fetch L1-I residency) pairs of one block, stored
+/// inline. Blocks are formed once per IAG cycle — including on every
+/// wrong-path cycle — so the previous per-block `Vec<(u64, bool)>` was the
+/// simulator's hottest allocation; an inline array eliminates it.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineSet {
+    len: u8,
+    lines: [(u64, bool); MAX_BLOCK_LINES],
+}
+
+impl LineSet {
+    fn push(&mut self, addr: u64, resident: bool) {
+        let i = usize::from(self.len);
+        assert!(
+            i < MAX_BLOCK_LINES,
+            "block spans more than {MAX_BLOCK_LINES} lines; raise MAX_BLOCK_LINES \
+             alongside FrontendConfig::max_block_bytes"
+        );
+        self.lines[i] = (addr, resident);
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(u64, bool)> {
+        self.lines[..self.len()].iter()
+    }
+}
+
 /// A formed block plus its timing and pre-fetch L1-I residency snapshot.
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -39,7 +75,7 @@ struct InFlight {
     iag_cycle: u64,
     decode_start: u64,
     /// (line address, was L1-I resident before this block's prefetches).
-    lines: Vec<(u64, bool)>,
+    lines: LineSet,
 }
 
 /// The front-end simulator.
@@ -246,17 +282,17 @@ impl<'p> Simulator<'p> {
     /// Issue the FDIP prefetches for a block's line range. Returns the
     /// per-line pre-fetch L1-I residency and records the fill-completion
     /// cycle in `last_fill_done`.
-    fn prefetch_lines(&mut self, block: &PredictedBlock) -> Vec<(u64, bool)> {
+    fn prefetch_lines(&mut self, block: &PredictedBlock) -> LineSet {
         let first = block.start & !63;
         let last = block.end.saturating_sub(1).max(block.start) & !63;
-        let mut lines = Vec::with_capacity(2);
+        let mut lines = LineSet::default();
         let mut max_latency = 0u32;
         let mut la = first;
         loop {
             let resident = self.hier.l1i_contains(la);
             let lat = self.hier.fetch_line(la, true);
             max_latency = max_latency.max(lat);
-            lines.push((la, resident));
+            lines.push(la, resident);
             self.tel
                 .event(self.iag_cycle, EventKind::PrefetchIssue, la, u64::from(lat));
             if la >= last {

@@ -27,7 +27,12 @@ pub enum ResteerStage {
 }
 
 /// Complete counters from one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (including the float
+/// `mean_ftq_occupancy` exactly): two runs of the same (workload, config,
+/// steps) must produce bitwise-identical stats regardless of sweep
+/// parallelism, and the determinism test asserts exactly that.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Retired instructions.
     pub instructions: u64,

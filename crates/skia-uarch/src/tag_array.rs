@@ -23,6 +23,12 @@ struct Slot<V> {
 pub struct TagArray<V> {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two, else 0 — lets [`set_of`]
+    /// replace the 64-bit modulo with an AND on the common configurations
+    /// (every cache and BTB here; only the R-SBB's 506 sets fall back).
+    ///
+    /// [`set_of`]: TagArray::set_of
+    set_mask: u64,
     slots: Vec<Option<Slot<V>>>,
     tick: u64,
 }
@@ -42,6 +48,11 @@ impl<V> TagArray<V> {
         TagArray {
             sets,
             ways,
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                0
+            },
             slots,
             tick: 0,
         }
@@ -77,10 +88,16 @@ impl<V> TagArray<V> {
         self.slots.iter().all(|s| s.is_none())
     }
 
-    /// Map a key to its set index (modulo reduction, power-of-two friendly).
+    /// Map a key to its set index: a mask when the set count is a power of
+    /// two (identical result to the modulo, without the 64-bit division in
+    /// the lookup hot path), modulo reduction otherwise.
     #[must_use]
     pub fn set_of(&self, key: u64) -> usize {
-        (key % self.sets as u64) as usize
+        if self.set_mask != 0 {
+            (key & self.set_mask) as usize
+        } else {
+            (key % self.sets as u64) as usize
+        }
     }
 
     fn range(&self, set: usize) -> std::ops::Range<usize> {
@@ -235,6 +252,19 @@ impl<V> TagArray<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_of_mask_matches_modulo() {
+        // Power-of-two set counts take the mask path; it must agree with
+        // the plain modulo for every key, including the R-SBB's 506 sets
+        // (non-power-of-two fallback) and the single-set degenerate case.
+        for sets in [1usize, 2, 64, 506, 512, 1024] {
+            let a: TagArray<u8> = TagArray::new(sets, 1);
+            for key in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+                assert_eq!(a.set_of(key), (key % sets as u64) as usize, "sets={sets}");
+            }
+        }
+    }
 
     #[test]
     fn insert_and_probe() {

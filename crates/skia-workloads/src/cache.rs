@@ -1,0 +1,420 @@
+//! On-disk program-image cache.
+//!
+//! [`Program::generate`] is a pure function of its [`ProgramSpec`], but for
+//! the paper-scale profiles it costs tens of milliseconds each — and every
+//! figure binary regenerates all 16 benchmarks, so a full
+//! `run_experiments.sh` sweep pays 12 × 16 generations for 16 distinct
+//! programs. This module memoizes generation on disk: the serialized
+//! program is stored under a cache directory keyed by a hash of the spec's
+//! canonical byte encoding, and [`load_or_generate`] returns the cached
+//! image when present.
+//!
+//! The cache directory is `target/skia-cache/` by default; the `SKIA_CACHE`
+//! environment variable overrides it (`SKIA_CACHE=0` or `off` disables
+//! caching entirely). Cache files are versioned and embed the full
+//! canonical spec bytes, so a hash collision or a format change falls back
+//! to regeneration rather than returning a wrong program. All I/O is
+//! best-effort: an unreadable or unwritable cache only costs time, never
+//! correctness. Writes go through a temp file + rename so concurrent
+//! processes never observe a torn entry.
+//!
+//! The serialization is hand-rolled little-endian (the derived indexes are
+//! rebuilt on load, not stored): the format is private to this module and
+//! versioned by [`FORMAT_VERSION`], so it can change freely between
+//! releases — stale files simply miss.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use skia_isa::BranchKind;
+
+use crate::program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
+
+/// Bumped whenever the on-disk layout or the generator's output changes;
+/// mismatched files are regenerated.
+const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"SKIAPROG";
+
+/// Generate `spec`'s program, consulting the on-disk cache first.
+///
+/// Equivalent to [`Program::generate`] in every observable way — the cached
+/// round trip reproduces the image bytes, ground-truth metadata and derived
+/// indexes exactly (asserted by the round-trip tests below).
+#[must_use]
+pub fn load_or_generate(spec: &ProgramSpec) -> Program {
+    let Some(dir) = cache_dir() else {
+        return Program::generate(spec);
+    };
+    let key = spec_key(spec);
+    let path = dir.join(format!("program-{key:016x}-v{FORMAT_VERSION}.bin"));
+    if let Some(program) = try_load(&path, spec) {
+        return program;
+    }
+    let program = Program::generate(spec);
+    try_store(&dir, &path, spec, &program);
+    program
+}
+
+/// Resolve the cache directory: `SKIA_CACHE` env var (a path, or `0`/`off`
+/// to disable), else `skia-cache/` inside the build's target directory.
+///
+/// The default is anchored to the workspace rather than the working
+/// directory — `cargo test` sets each test binary's CWD to its crate root,
+/// and a CWD-relative default would scatter `target/skia-cache/` dirs
+/// across the source tree.
+fn cache_dir() -> Option<PathBuf> {
+    match std::env::var("SKIA_CACHE") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.is_empty() => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => {
+            let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+            Some(workspace.join("target").join("skia-cache"))
+        }
+    }
+}
+
+/// FNV-1a 64 over the canonical spec encoding — stable across runs and
+/// platforms (unlike `DefaultHasher`, whose output is unspecified).
+fn spec_key(spec: &ProgramSpec) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &spec_bytes(spec) {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Canonical byte encoding of a spec: every field in declaration order,
+/// little-endian, floats via `to_bits`. Embedded in the cache file and
+/// compared exactly on load, so the key hash only narrows the candidate —
+/// it never decides a match.
+fn spec_bytes(spec: &ProgramSpec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(160);
+    let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+    u64le(spec.seed);
+    u64le(spec.functions as u64);
+    u64le(spec.blocks_per_fn.start as u64);
+    u64le(spec.blocks_per_fn.end as u64);
+    u64le(spec.insns_per_block.start as u64);
+    u64le(spec.insns_per_block.end as u64);
+    u64le(spec.cond_fraction.to_bits());
+    u64le(spec.call_fraction.to_bits());
+    u64le(spec.indirect_fraction.to_bits());
+    u64le(spec.zipf_s.to_bits());
+    u64le(spec.backedge_fraction.to_bits());
+    u64le(u64::from(spec.mean_trip_count));
+    u64le(spec.callees_per_fn as u64);
+    u64le(spec.leaf_fraction.to_bits());
+    u64le(spec.dispatch_blocks as u64);
+    u64le(spec.dispatch_callees as u64);
+    u64le(spec.burst_pool as u64);
+    u64le(spec.burst_prob.to_bits());
+    u64le(match spec.layout {
+        Layout::Interleaved => 0,
+        Layout::Bolted => 1,
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn serialize(spec: &ProgramSpec, program: &Program) -> Vec<u8> {
+    let image = program.bytes_at(program.base(), program.code_bytes());
+    let mut out = Vec::with_capacity(64 + image.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let spec_enc = spec_bytes(spec);
+    out.extend_from_slice(&(spec_enc.len() as u32).to_le_bytes());
+    out.extend_from_slice(&spec_enc);
+    out.extend_from_slice(&program.base().to_le_bytes());
+    out.extend_from_slice(&(image.len() as u64).to_le_bytes());
+    out.extend_from_slice(image);
+    let (burst_pool, burst_prob) = program.spec_burst();
+    out.extend_from_slice(&(burst_pool as u64).to_le_bytes());
+    out.extend_from_slice(&burst_prob.to_bits().to_le_bytes());
+    out.extend_from_slice(&(program.functions().len() as u64).to_le_bytes());
+    for f in program.functions() {
+        out.extend_from_slice(&f.entry.to_le_bytes());
+        out.extend_from_slice(&f.weight.to_bits().to_le_bytes());
+        out.extend_from_slice(&(f.blocks.len() as u64).to_le_bytes());
+        for b in &f.blocks {
+            out.extend_from_slice(&b.start.to_le_bytes());
+            out.extend_from_slice(&b.insns.to_le_bytes());
+            let t = &b.terminator;
+            out.extend_from_slice(&t.pc.to_le_bytes());
+            out.push(t.len);
+            out.push(kind_code(t.kind));
+            match t.target {
+                Some(addr) => {
+                    out.push(1);
+                    out.extend_from_slice(&addr.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&t.fallthrough.to_le_bytes());
+            out.extend_from_slice(&(t.indirect_targets.len() as u32).to_le_bytes());
+            for &addr in &t.indirect_targets {
+                out.extend_from_slice(&addr.to_le_bytes());
+            }
+            out.push(u8::from(t.backedge));
+            out.push(t.bias);
+        }
+    }
+    out
+}
+
+fn kind_code(kind: BranchKind) -> u8 {
+    BranchKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every BranchKind is in ALL") as u8
+}
+
+/// Cursor-based reader; every method returns `None` on truncation so a
+/// corrupt file degrades to a cache miss.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Bounded length prefix: caps vector preallocation to what the buffer
+    /// could actually hold, so a corrupt length can't balloon memory.
+    fn len(&mut self, elem_bytes: usize) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        (n.saturating_mul(elem_bytes.max(1)) <= self.buf.len() - self.pos.min(self.buf.len()))
+            .then_some(n)
+    }
+}
+
+fn deserialize(bytes: &[u8], spec: &ProgramSpec) -> Option<Program> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC || r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    let spec_enc = spec_bytes(spec);
+    let stored_len = usize::try_from(r.u32()?).ok()?;
+    if stored_len != spec_enc.len() || r.take(stored_len)? != spec_enc.as_slice() {
+        return None; // hash collision or different generator input
+    }
+    let base = r.u64()?;
+    let image_len = usize::try_from(r.u64()?).ok()?;
+    let image = r.take(image_len)?.to_vec();
+    let burst_pool = usize::try_from(r.u64()?).ok()?;
+    let burst_prob = r.f64()?;
+    let nfuncs = r.len(17)?;
+    let mut functions = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        let entry = r.u64()?;
+        let weight = r.f64()?;
+        let nblocks = r.len(32)?;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let start = r.u64()?;
+            let insns = r.u32()?;
+            let pc = r.u64()?;
+            let len = r.u8()?;
+            let kind = *BranchKind::ALL.get(usize::from(r.u8()?))?;
+            let target = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return None,
+            };
+            let fallthrough = r.u64()?;
+            let ntargets = usize::try_from(r.u32()?).ok()?;
+            let mut indirect_targets = Vec::with_capacity(ntargets.min(1024));
+            for _ in 0..ntargets {
+                indirect_targets.push(r.u64()?);
+            }
+            let backedge = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let bias = r.u8()?;
+            blocks.push(BasicBlock {
+                start,
+                insns,
+                terminator: BranchMeta {
+                    pc,
+                    len,
+                    kind,
+                    target,
+                    fallthrough,
+                    indirect_targets,
+                    backedge,
+                    bias,
+                },
+            });
+        }
+        functions.push(Function {
+            entry,
+            blocks,
+            weight,
+        });
+    }
+    if r.pos != bytes.len() {
+        return None; // trailing garbage — treat as corrupt
+    }
+    Some(Program::from_parts(
+        base,
+        image,
+        functions,
+        (burst_pool, burst_prob),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// File I/O (best-effort)
+// ---------------------------------------------------------------------------
+
+fn try_load(path: &Path, spec: &ProgramSpec) -> Option<Program> {
+    let bytes = std::fs::read(path).ok()?;
+    deserialize(&bytes, spec)
+}
+
+fn try_store(dir: &Path, path: &Path, spec: &ProgramSpec, program: &Program) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    // Unique temp name per process so concurrent sweeps don't clobber each
+    // other mid-write; rename is atomic on POSIX.
+    let tmp = dir.join(format!(
+        ".tmp-{:016x}-{}",
+        spec_key(spec),
+        std::process::id()
+    ));
+    let ok = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(&serialize(spec, program)))
+        .is_ok();
+    if ok {
+        let _ = std::fs::rename(&tmp, path);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_spec() -> ProgramSpec {
+        ProgramSpec {
+            functions: 60,
+            ..ProgramSpec::default()
+        }
+    }
+
+    fn assert_programs_equal(a: &Program, b: &Program) {
+        assert_eq!(a.base(), b.base());
+        assert_eq!(a.code_bytes(), b.code_bytes());
+        assert_eq!(
+            a.bytes_at(a.base(), a.code_bytes()),
+            b.bytes_at(b.base(), b.code_bytes())
+        );
+        assert_eq!(a.spec_burst(), b.spec_burst());
+        assert_eq!(a.functions(), b.functions());
+        // Derived indexes must be rebuilt faithfully.
+        for f in a.functions() {
+            for blk in &f.blocks {
+                assert_eq!(a.locate_block(blk.start), b.locate_block(blk.start));
+                assert_eq!(
+                    a.locate_branch(blk.terminator.pc),
+                    b.locate_branch(blk.terminator.pc)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serialize_round_trips_exactly() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let bytes = serialize(&spec, &program);
+        let loaded = deserialize(&bytes, &spec).expect("round trip");
+        assert_programs_equal(&program, &loaded);
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_spec() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let bytes = serialize(&spec, &program);
+        let other = ProgramSpec {
+            seed: spec.seed ^ 1,
+            ..test_spec()
+        };
+        assert!(deserialize(&bytes, &other).is_none());
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let bytes = serialize(&spec, &program);
+        assert!(deserialize(&bytes[..bytes.len() - 1], &spec).is_none());
+        assert!(deserialize(&bytes[1..], &spec).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(deserialize(&trailing, &spec).is_none());
+    }
+
+    #[test]
+    fn spec_key_is_stable_and_distinguishes() {
+        let a = spec_key(&test_spec());
+        assert_eq!(a, spec_key(&test_spec()), "same spec, same key");
+        let other = ProgramSpec {
+            zipf_s: 1.2,
+            ..test_spec()
+        };
+        assert_ne!(a, spec_key(&other));
+        let bolted = ProgramSpec {
+            layout: Layout::Bolted,
+            ..test_spec()
+        };
+        assert_ne!(a, spec_key(&bolted));
+    }
+
+    #[test]
+    fn load_or_generate_hits_its_own_store() {
+        let dir = std::env::temp_dir().join(format!("skia-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = test_spec();
+        let key = spec_key(&spec);
+        let path = dir.join(format!("program-{key:016x}-v{FORMAT_VERSION}.bin"));
+
+        let generated = Program::generate(&spec);
+        try_store(&dir, &path, &spec, &generated);
+        let cached = try_load(&path, &spec).expect("stored entry loads");
+        assert_programs_equal(&generated, &cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

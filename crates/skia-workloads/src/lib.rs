@@ -29,10 +29,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod profiles;
 pub mod program;
 pub mod walker;
 
+pub use cache::load_or_generate;
 pub use profiles::{profile, profile_names, Profile};
 pub use program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
 pub use walker::{TraceStep, Walker};

@@ -508,6 +508,33 @@ impl Program {
         }
     }
 
+    /// Reassemble a program from its serialized parts (disk cache load),
+    /// rebuilding the derived `branch_index`/`block_index` maps — they are
+    /// pure functions of `functions`, so the cache never stores them.
+    pub(crate) fn from_parts(
+        base: u64,
+        image: Vec<u8>,
+        functions: Vec<Function>,
+        burst: (usize, f64),
+    ) -> Self {
+        let mut branch_index = HashMap::new();
+        let mut block_index = HashMap::new();
+        for (fi, f) in functions.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                branch_index.insert(b.terminator.pc, (fi as u32, bi as u32));
+                block_index.insert(b.start, (fi as u32, bi as u32));
+            }
+        }
+        Program {
+            base,
+            image,
+            functions,
+            branch_index,
+            block_index,
+            burst,
+        }
+    }
+
     /// `(pool size, repeat probability)` of the request-burst model, for the
     /// walker.
     #[must_use]

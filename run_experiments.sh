@@ -1,19 +1,33 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper into results/.
 # SKIA_STEPS scales trace length (default 400000 ~ 2.8M instructions per run).
+# SKIA_THREADS sets the sweep worker count (default: all cores).
 # SKIA_EMIT=1 additionally writes each experiment's merged telemetry snapshot
 # (counters, histograms, sampled event trace) to results/<exp>.telemetry.json.
+#
+# Experiment stderr (sweep timing lines, diagnostics) passes through to this
+# script's stderr; any failure aborts the whole script with the failing
+# experiment named.
 set -e
 cd "$(dirname "$0")"
 STEPS="${SKIA_STEPS:-400000}"
 export SKIA_STEPS="$STEPS"
 echo "running all experiments at $STEPS steps per run"
+cargo build --release -p skia-experiments --bins
+total_start=$(date +%s)
 for exp in table1 table2 fig01 fig06 fig13 fig15 fig16 fig18 fig14 ablations fig17 fig03; do
   echo "=== $exp ==="
   EMIT=""
   if [ -n "${SKIA_EMIT:-}" ]; then
     EMIT="--emit-json results/$exp.telemetry.json"
   fi
-  ./target/release/$exp $EMIT > results/$exp.md 2>/dev/null || cargo run --release -p skia-experiments --bin $exp -- $EMIT > results/$exp.md
-  echo "done: results/$exp.md"
+  exp_start=$(date +%s)
+  if ! ./target/release/$exp $EMIT > results/$exp.md; then
+    echo "FAILED: $exp (see stderr above)" >&2
+    exit 1
+  fi
+  exp_end=$(date +%s)
+  echo "done: results/$exp.md (${exp}: $((exp_end - exp_start))s)"
 done
+total_end=$(date +%s)
+echo "all experiments done in $((total_end - total_start))s"
