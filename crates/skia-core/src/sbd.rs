@@ -710,6 +710,94 @@ mod tests {
     }
 
     #[test]
+    fn tail_max_length_instruction_at_exact_line_end_decodes_through() {
+        // A 15-byte instruction (14 operand-size prefixes + NOP) ending
+        // exactly at the line boundary: the tail walk decodes it and stops
+        // cleanly at offset 64. The earlier shadow return is still found.
+        let mut line = Vec::new();
+        encode::jmp_rel8(&mut line, 4); // exit branch, bytes 0..2
+        encode::ret(&mut line); // shadow return at 2
+        while line.len() < 49 {
+            let gap = (49 - line.len()).min(8);
+            encode::nop_exact(&mut line, gap);
+        }
+        line.extend(std::iter::repeat_n(0x66, 14));
+        line.push(0x90); // 49 + 15 = 64: fits exactly
+        assert_eq!(line.len(), 64);
+
+        let mut sbd = ShadowDecoder::default();
+        let found = sbd.decode_tail(&line, 0x1000, 2);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, BranchKind::Return);
+    }
+
+    #[test]
+    fn tail_max_length_instruction_straddling_line_end_stops_decode() {
+        // Shifted one byte later, the same 15-byte instruction straddles the
+        // boundary: the line ends inside its prefix run, decode reports
+        // Truncated, and the walk stops without panicking or mis-synthesizing
+        // a branch from the partial bytes.
+        let mut line = Vec::new();
+        encode::jmp_rel8(&mut line, 4);
+        encode::ret(&mut line);
+        while line.len() < 50 {
+            let gap = (50 - line.len()).min(8);
+            encode::nop_exact(&mut line, gap);
+        }
+        line.extend(std::iter::repeat_n(0x66, 14)); // opcode on next line
+        assert_eq!(line.len(), 64);
+
+        let mut sbd = ShadowDecoder::default();
+        let found = sbd.decode_tail(&line, 0x1040, 2);
+        assert_eq!(found.len(), 1, "only the pre-straddle return decodes");
+        assert_eq!(found[0].pc, 0x1042);
+    }
+
+    #[test]
+    fn head_entry_mid_instruction_yields_no_valid_path() {
+        // Index Computation when the entry offset lands mid-instruction: the
+        // line opens with a 5-byte jmp whose displacement bytes (0x06) are
+        // invalid opcodes, and the block entry is at byte 3 — inside the
+        // jump. No decode chain can align with the entry: byte 0's length
+        // overshoots it and bytes 1..3 do not decode, so the region yields
+        // no candidates (and is *not* counted as an ambiguity discard).
+        let mut line = Vec::new();
+        encode::jmp_rel32(&mut line, 0x0606_0606);
+        let line = pad_to_line(line);
+
+        let mut sbd = ShadowDecoder::default();
+        let hd = sbd.decode_head(&line, 0x5000, 3);
+        assert!(!hd.discarded);
+        assert!(hd.valid_starts.is_empty());
+        assert!(hd.branches.is_empty());
+        assert_eq!(hd.chosen_start, None);
+        assert_eq!(sbd.stats().head_regions_discarded, 0);
+    }
+
+    #[test]
+    fn head_max_length_instruction_aligns_with_entry() {
+        // The 15-byte maximum instruction fills the whole head region. Every
+        // suffix of the prefix run is itself a complete instruction landing
+        // exactly on the entry, and none of those paths share an
+        // intermediate hop — 15 genuinely distinct families. Under the
+        // default ambiguity bound that correctly discards the region;
+        // raising the bound past 15 admits it, with byte 0 among the valid
+        // starts and no branch extracted.
+        let mut line = vec![0x66u8; 14];
+        line.push(0x90);
+        let line = pad_to_line(line);
+
+        let mut strict = ShadowDecoder::default();
+        assert!(strict.decode_head(&line, 0x6000, 15).discarded);
+
+        let mut lax = ShadowDecoder::new(IndexPolicy::First, 16);
+        let hd = lax.decode_head(&line, 0x6000, 15);
+        assert!(!hd.discarded);
+        assert!(hd.valid_starts.contains(&0));
+        assert!(hd.branches.is_empty(), "a long NOP is not a branch");
+    }
+
+    #[test]
     fn stats_accumulate() {
         let line = pad_to_line(vec![0xC3]);
         let mut sbd = ShadowDecoder::default();

@@ -673,6 +673,42 @@ mod tests {
     }
 
     #[test]
+    fn max_length_instruction_truncates_at_line_boundary() {
+        // 14 operand-size prefixes + NOP = the architectural 15-byte maximum.
+        let mut insn = vec![0x66u8; 14];
+        insn.push(0x90);
+        assert_eq!(len_of(&insn), 15);
+        // Start it 8 bytes before a 64-byte cache-line boundary: the in-line
+        // slice holds only prefixes, and the decoder must report how many
+        // bytes were available — the SBD treats that as "continues on the
+        // next line" — rather than inventing a length.
+        for cut in 1..insn.len() {
+            assert_eq!(
+                decode(&insn[..cut]),
+                Err(DecodeError::Truncated(cut)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_slice_at_image_end_never_panics() {
+        // Every proper prefix of a compound instruction (prefix + REX +
+        // two-byte opcode + ModRM + imm8) — the shape of a slice at the very
+        // end of a program image — reports Truncated with the exact number
+        // of available bytes.
+        let insn = [0x66, 0x48, 0x0F, 0xBA, 0xE0, 0x05]; // 66 REX.W bt rax, 5
+        assert_eq!(len_of(&insn), 6);
+        for cut in 0..insn.len() {
+            assert_eq!(
+                decode(&insn[..cut]),
+                Err(DecodeError::Truncated(cut)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
     fn rex_voided_by_following_prefix() {
         // 48 66 b8: REX.W then 66 — REX is dropped, so imm is 16-bit.
         assert_eq!(len_of(&[0x48, 0x66, 0xB8, 0, 0]), 5);

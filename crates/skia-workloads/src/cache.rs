@@ -404,6 +404,69 @@ mod tests {
     }
 
     #[test]
+    fn load_or_generate_survives_corruption_and_version_bumps() {
+        // This is the only test in the binary that reads SKIA_CACHE through
+        // `load_or_generate`; the env var is scoped to this test and
+        // restored at the end (every other cache test passes explicit
+        // paths), so parallel test threads never observe the override.
+        let dir = std::env::temp_dir().join(format!("skia-cache-robust-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let prior = std::env::var("SKIA_CACHE").ok();
+        std::env::set_var("SKIA_CACHE", &dir);
+
+        let spec = ProgramSpec {
+            seed: 0xCAC4E,
+            ..test_spec()
+        };
+        let path = dir.join(format!(
+            "program-{:016x}-v{FORMAT_VERSION}.bin",
+            spec_key(&spec)
+        ));
+        let reference = Program::generate(&spec);
+
+        // First call populates the cache.
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+        assert!(path.exists(), "store after miss");
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated entry: falls back to regeneration without panicking,
+        // and the rewrite repairs the file.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+        assert_eq!(std::fs::read(&path).unwrap(), good, "repaired on reload");
+
+        // Arbitrary garbage: same fallback.
+        std::fs::write(&path, b"not a cache entry at all").unwrap();
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+
+        // Flipped byte inside the image payload: the trailing-length check
+        // still rejects or the spec echo mismatches — either way the loader
+        // must not return a silently-wrong program. Flip a byte in the
+        // embedded spec encoding (right after magic + version + length).
+        let mut flipped = good.clone();
+        flipped[MAGIC.len() + 4 + 4] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+
+        // Version bump: an entry whose embedded format version is newer (or
+        // older) misses, regenerates, and never panics.
+        let mut bumped = good.clone();
+        bumped[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bumped).unwrap();
+        assert!(
+            deserialize(&bumped, &spec).is_none(),
+            "bumped version misses"
+        );
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+
+        match prior {
+            Some(v) => std::env::set_var("SKIA_CACHE", v),
+            None => std::env::remove_var("SKIA_CACHE"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn load_or_generate_hits_its_own_store() {
         let dir = std::env::temp_dir().join(format!("skia-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

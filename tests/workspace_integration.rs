@@ -77,31 +77,59 @@ fn infinite_btb_is_an_upper_bound() {
 }
 
 #[test]
-#[ignore = "the synthetic generator only reorders functions between layouts — it does not \
-            straighten hot paths the way BOLT does — so the modeled btb_misses delta sits \
-            inside generator noise (±0.5% across seeds and BTB sizes) and its sign depends \
-            on the RNG stream; kept for manual runs until the generator models fallthrough \
-            conversion"]
-fn bolted_layout_reduces_btb_pressure() {
-    // §6.1.4: BOLT packs hot code, shrinking the BTB working set.
-    let p = profile("verilator").unwrap();
-    let pre = profile("verilator_prebolt").unwrap();
-    let mut bolted_spec = p.spec.clone();
-    let mut pre_spec = pre.spec.clone();
-    bolted_spec.functions = 2500;
-    pre_spec.functions = 2500;
-    let steps = 50_000;
-    let run = |spec: &ProgramSpec, seed: u64| {
-        let program = Program::generate(spec);
-        let trace = Walker::new(&program, seed, spec.mean_trip_count).take(steps);
-        skia::frontend::run(&program, FrontendConfig::alder_lake_like(), trace)
+fn bolted_layout_agrees_with_oracle_and_packs_hot_code() {
+    // Replaces the previously-#[ignore]d `bolted_layout_reduces_btb_pressure`
+    // perf assertion, whose btb_misses delta sat inside generator noise
+    // (±0.5% across seeds) because the synthetic generator only reorders
+    // functions — it does not straighten hot paths the way BOLT does. The
+    // two claims that *are* deterministic get asserted instead:
+    //
+    // 1. Semantics: both layouts simulate in exact lockstep with the
+    //    executable reference model (per-step stats and event traces).
+    // 2. Structure (§6.1.4): the Bolted layout packs the hottest functions
+    //    into a tighter address span than Interleaved, which is the
+    //    mechanism behind BOLT's BTB-pressure reduction.
+    for bolted in [false, true] {
+        let case = skia_oracle::DiffCase {
+            spec_seed: 0xB017,
+            functions: 120,
+            bolted,
+            trace_seed: 9,
+            steps: 800,
+            with_skia: true,
+            btb_sets: 8,
+            small_sbb: false,
+        };
+        if let Err(report) = skia_oracle::run_case(&case, None) {
+            panic!("{report}");
+        }
+    }
+
+    let spec = |layout| ProgramSpec {
+        seed: 0xB017,
+        functions: 400,
+        layout,
+        ..ProgramSpec::default()
     };
-    // A single trace seed leaves the layout effect inside run-to-run noise;
-    // aggregate a few seeds so the structural difference dominates.
-    let seeds = [p.trace_seed, p.trace_seed + 1, p.trace_seed + 2];
-    let bolted: u64 = seeds.iter().map(|&s| run(&bolted_spec, s).btb_misses).sum();
-    let prebolt: u64 = seeds.iter().map(|&s| run(&pre_spec, s).btb_misses).sum();
-    assert!(bolted < prebolt, "bolted {bolted} vs pre-bolt {prebolt}");
+    let span_of_hot_tenth = |layout| {
+        let program = Program::generate(&spec(layout));
+        let mut weights: Vec<(u64, f64)> = program
+            .functions()
+            .iter()
+            .map(|f| (f.entry, f.weight))
+            .collect();
+        weights.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let hot = &weights[..weights.len() / 10];
+        let lo = hot.iter().map(|&(e, _)| e).min().unwrap();
+        let hi = hot.iter().map(|&(e, _)| e).max().unwrap();
+        hi - lo
+    };
+    let bolted = span_of_hot_tenth(Layout::Bolted);
+    let interleaved = span_of_hot_tenth(Layout::Interleaved);
+    assert!(
+        bolted < interleaved,
+        "Bolted must pack the hot tenth tighter: {bolted} vs {interleaved} bytes"
+    );
 }
 
 #[test]

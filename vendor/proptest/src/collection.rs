@@ -17,10 +17,38 @@ pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy
     VecStrategy { element, len }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let n = rng.gen_range(self.len.clone());
         (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Length reductions first (biggest simplification), down to the
+        // strategy's minimum length: shortest, half, one-less.
+        let mut lens = Vec::new();
+        for n in [
+            self.len.start,
+            value.len() / 2,
+            value.len().saturating_sub(1),
+        ] {
+            if n >= self.len.start && n < value.len() && !lens.contains(&n) {
+                lens.push(n);
+                out.push(value[..n].to_vec());
+            }
+        }
+        // Then per-element shrinking, one position at a time.
+        for (i, v) in value.iter().enumerate() {
+            for c in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = c;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -9,9 +9,12 @@
 //! * [`test_runner::ProptestConfig`] with `with_cases`.
 //!
 //! Semantics are the useful core of the real crate: each test runs `cases`
-//! random cases from a deterministic per-test seed. There is **no input
-//! shrinking** — a failing case panics with the case index so it can be
-//! replayed, but inputs are not minimized.
+//! random cases from a deterministic per-test seed, and a failing case is
+//! **shrunk** before it is reported — integers step toward zero (or the
+//! range start), booleans toward `false`, tuples shrink one component at a
+//! time — so the panic the harness prints corresponds to a minimal failing
+//! input (also written to stderr). Closure-composed strategies
+//! (`prop_compose!`) are opaque to shrinking and re-fail as generated.
 
 #![forbid(unsafe_code)]
 
@@ -26,8 +29,8 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
 }
 
-/// Assert inside a property test. Equivalent to `assert!` here (failures
-/// panic immediately; there is no shrinking phase to resume).
+/// Assert inside a property test. Equivalent to `assert!` here (the case
+/// runner catches the panic and drives shrinking from it).
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => { assert!($cond) };
@@ -49,7 +52,12 @@ macro_rules! prop_assert_ne {
 }
 
 /// Define property tests: each `fn` body runs once per random case with its
-/// arguments drawn from the given strategies.
+/// arguments drawn from the given strategies; failing cases are shrunk.
+///
+/// The argument strategies are bundled into one tuple strategy, so the
+/// components draw from the RNG in declaration order — exactly the stream
+/// the previous per-argument expansion consumed, keeping historical case
+/// seeds stable.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -63,14 +71,17 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($(($strat),)+);
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(
                         concat!(module_path!(), "::", stringify!($name)),
                         case,
                     );
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    let _ = case;
-                    $body
+                    let value = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    $crate::test_runner::run_case(&strategy, value, case, &|($($arg,)+)| {
+                        let _ = case;
+                        $body
+                    });
                 }
             }
         )*
@@ -134,6 +145,26 @@ mod tests {
             prop_assert!(pair.0 < 10 && pair.1 >= 10);
             prop_assert!((5..9).contains(&t.1));
         }
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_input() {
+        use std::cell::RefCell;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let strategy = (0u64..1000,);
+        let failing_runs = RefCell::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            crate::test_runner::run_case(&strategy, (615,), 0, &|(x,)| {
+                if x >= 17 {
+                    failing_runs.borrow_mut().push(x);
+                    panic!("too big: {x}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "minimal input must re-panic");
+        // Greedy descent must land exactly on the smallest failing value.
+        assert_eq!(failing_runs.borrow().last().copied(), Some(17));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Value-generation strategies.
+//! Value-generation strategies, with basic input shrinking.
 
 use crate::test_runner::TestRng;
 use rand::Rng;
@@ -10,6 +10,16 @@ pub trait Strategy {
 
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidate replacements for a failing
+    /// value, best candidates first. The test runner greedily re-runs the
+    /// failing property on each candidate and recurses on the first that
+    /// still fails, so shrinkers need not enumerate exhaustively — a few
+    /// large jumps (zero, half) plus a single small step converge quickly.
+    /// The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 /// Strategy for "any value of `T`" (the real crate's `Arbitrary`).
@@ -21,17 +31,72 @@ pub fn any<T>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-macro_rules! impl_any_int {
+macro_rules! impl_any_uint {
     ($($t:ty),+) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen::<$t>()
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.wrapping_sub(1)] {
+                    if c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
         }
     )+};
 }
-impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_any_sint {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                // `unsigned_abs` keeps `$t::MIN` (whose `abs()` overflows)
+                // shrinkable.
+                for c in [0, v / 2, v - v.signum()] {
+                    if c != v && c.unsigned_abs() <= v.unsigned_abs() && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_any_sint!(i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
 
 /// A strategy that always yields a clone of one value.
 pub struct Just<T: Clone>(pub T);
@@ -50,16 +115,45 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )+};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Candidates between a range's `start` and a failing `value`, biggest jump
+/// first. Works in i128 so every integer width and sign combination (all of
+/// which embed losslessly in i128) uses one overflow-free midpoint formula;
+/// candidates lie in `[start, value)`, so the caller's cast back is lossless.
+fn shrink_toward(start: i128, value: i128) -> Vec<i128> {
+    if value <= start {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in [start, start + (value - start) / 2, value - 1] {
+        if c < value && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
 
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;
@@ -70,10 +164,26 @@ impl Strategy for core::ops::Range<f64> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))+) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Per-component replacement: shrink one coordinate at a
+                // time, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = c;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -88,6 +198,7 @@ impl_tuple_strategy! {
 }
 
 /// A strategy backed by a closure (what [`crate::prop_compose!`] expands to).
+/// Closure strategies are opaque to shrinking (the default no-op applies).
 pub struct FnStrategy<F> {
     f: F,
 }
@@ -103,5 +214,57 @@ impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.f)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrink_moves_toward_zero() {
+        let s = any::<u64>();
+        let c = s.shrink(&100);
+        assert!(c.contains(&0) && c.contains(&50) && c.contains(&99));
+        assert!(s.shrink(&0).is_empty());
+        assert_eq!(s.shrink(&1), vec![0]);
+    }
+
+    #[test]
+    fn sint_shrink_reduces_magnitude() {
+        let s = any::<i32>();
+        assert!(s.shrink(&-8).iter().all(|&c| c.abs() < 8));
+        assert!(s.shrink(&8).iter().all(|&c| c.abs() < 8));
+        assert!(s.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn range_shrink_stays_in_range() {
+        let s = 10usize..100;
+        for &c in &s.shrink(&73) {
+            assert!(s.contains(&c) && c < 73);
+        }
+        assert!(s.shrink(&10).is_empty());
+        let inc = 5u8..=9;
+        for &c in &inc.shrink(&9) {
+            assert!(inc.contains(&c) && c < 9);
+        }
+    }
+
+    #[test]
+    fn bool_shrink_prefers_false() {
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_replaces_one_component() {
+        let s = (0u64..100, any::<bool>());
+        let cands = s.shrink(&(40, true));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            // Exactly one coordinate moved.
+            assert!((*a < 40 && *b) || (*a == 40 && !*b));
+        }
     }
 }

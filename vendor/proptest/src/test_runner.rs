@@ -1,7 +1,12 @@
-//! Test-run configuration and the deterministic per-case RNG.
+//! Test-run configuration, the deterministic per-case RNG, and the
+//! shrinking case runner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
 
 /// How many cases each property test runs.
 #[derive(Debug, Clone, Copy)]
@@ -52,4 +57,52 @@ impl RngCore for TestRng {
     fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
     }
+}
+
+/// Total shrink-candidate executions allowed per failing case. Greedy
+/// first-failing-candidate descent converges in far fewer runs than this;
+/// the bound only caps pathological shrinkers.
+const SHRINK_BUDGET: usize = 1000;
+
+/// Run one generated case, and on failure greedily shrink the input via
+/// [`Strategy::shrink`] before re-panicking on the minimal reproducer.
+///
+/// The first failure's panic propagates only after shrinking completes, so
+/// the assertion message always corresponds to the *minimal* input, which
+/// is printed to stderr just before.
+pub fn run_case<S: Strategy>(strategy: &S, value: S::Value, case: u32, run: &dyn Fn(S::Value))
+where
+    S::Value: Clone + std::fmt::Debug,
+{
+    if catch_unwind(AssertUnwindSafe(|| run(value.clone()))).is_ok() {
+        return;
+    }
+
+    // Shrink: repeatedly replace the failing input with its first still-
+    // failing shrink candidate. The default panic hook would print a
+    // backtrace per probed candidate; silence it for the probe phase.
+    let quiet_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut minimal = value;
+    let mut budget = SHRINK_BUDGET;
+    'descend: while budget > 0 {
+        for candidate in strategy.shrink(&minimal) {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            if catch_unwind(AssertUnwindSafe(|| run(candidate.clone()))).is_err() {
+                minimal = candidate;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(quiet_hook);
+
+    eprintln!("proptest: case {case} failed; minimal failing input: {minimal:?}");
+    // Re-run the minimal input outside catch_unwind so the original
+    // assertion failure is what the test harness reports.
+    run(minimal);
+    unreachable!("shrunk input no longer fails; non-deterministic property?");
 }
