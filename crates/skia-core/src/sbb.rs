@@ -18,10 +18,10 @@
 //! bit is clear, so bogus branches (artifacts of wrong head-decode paths that
 //! will never commit) leave first.
 
-use skia_isa::BranchKind;
+use skia_isa::{BranchKind, CACHE_LINE_BYTES};
 use skia_uarch::TagArray;
 
-use crate::sbd::ShadowBranch;
+use crate::sbd::{MemoBuild, ShadowBranch};
 
 /// Bits per U-SBB entry (Fig. 12).
 pub const USBB_ENTRY_BITS: usize = 78;
@@ -150,17 +150,25 @@ pub struct SbbStats {
 
 /// The split Shadow Branch Buffer.
 ///
-/// Keeps an ordered mirror of resident PCs (both halves) so the BPU can scan
-/// for "the next shadow branch at or after this address" in O(log n), the
-/// same service the BTB provides through its fetch-block indexing.
+/// Keeps a per-cache-line bitmap mirror of resident PCs (both halves) so
+/// the BPU can scan for "the next shadow branch in this fetch window" with
+/// a hash probe and a trailing-zeros count per window line — the same
+/// service the BTB provides through its fetch-block indexing, without the
+/// ordered-tree walk an earlier `BTreeSet` mirror paid on every cycle.
 #[derive(Debug, Clone)]
 pub struct Sbb {
     u: TagArray<UEntry>,
     r: TagArray<REntry>,
-    keys: std::collections::BTreeSet<u64>,
+    /// Cache-line base → bitmap of resident pc byte offsets in that line.
+    /// Maintained as a plain set (bit set on insert, cleared on removal),
+    /// exactly mirroring TagArray residency of the union of both halves.
+    keys: std::collections::HashMap<u64, u64, MemoBuild>,
     config: SbbConfig,
     stats: SbbStats,
 }
+
+/// Line-base mask for the `keys` bitmap mirror.
+const LINE_MASK: u64 = !(CACHE_LINE_BYTES as u64 - 1);
 
 impl Sbb {
     /// Build an SBB.
@@ -175,16 +183,48 @@ impl Sbb {
         Sbb {
             u: TagArray::new(config.u_entries / config.ways, config.ways),
             r: TagArray::new(config.r_entries / config.ways, config.ways),
-            keys: std::collections::BTreeSet::new(),
+            keys: std::collections::HashMap::default(),
             config,
             stats: SbbStats::default(),
         }
     }
 
-    /// The lowest resident shadow-branch PC at or after `pc`.
+    /// The lowest resident shadow-branch PC in `[start, limit)` — the
+    /// BPU's fetch-window scan. Touches one bitmap per window line.
     #[must_use]
-    pub fn next_key_at_or_after(&self, pc: u64) -> Option<u64> {
-        self.keys.range(pc..).next().copied()
+    pub fn next_key_in(&self, start: u64, limit: u64) -> Option<u64> {
+        let mut base = start & LINE_MASK;
+        while base < limit {
+            if let Some(&bits) = self.keys.get(&base) {
+                let mut m = bits;
+                if base < start {
+                    m &= !0u64 << (start - base);
+                }
+                if limit - base < CACHE_LINE_BYTES as u64 {
+                    m &= (1u64 << (limit - base)) - 1;
+                }
+                if m != 0 {
+                    return Some(base + u64::from(m.trailing_zeros()));
+                }
+            }
+            base = base.checked_add(CACHE_LINE_BYTES as u64)?;
+        }
+        None
+    }
+
+    /// Set `pc`'s bit in the bitmap mirror.
+    fn key_insert(&mut self, pc: u64) {
+        *self.keys.entry(pc & LINE_MASK).or_insert(0) |= 1u64 << (pc & !LINE_MASK);
+    }
+
+    /// Clear `pc`'s bit in the bitmap mirror (no-op when absent).
+    fn key_remove(&mut self, pc: u64) {
+        if let Some(m) = self.keys.get_mut(&(pc & LINE_MASK)) {
+            *m &= !(1u64 << (pc & !LINE_MASK));
+            if *m == 0 {
+                self.keys.remove(&(pc & LINE_MASK));
+            }
+        }
     }
 
     /// Geometry.
@@ -273,10 +313,10 @@ impl Sbb {
                     },
                     |e| retired_aware && !e.retired,
                 );
-                self.keys.insert(branch.pc);
+                self.key_insert(branch.pc);
                 if let Some((tag, old)) = evicted {
                     if tag != branch.pc {
-                        self.keys.remove(&tag);
+                        self.key_remove(tag);
                         if !old.retired {
                             self.stats.evicted_unretired += 1;
                         }
@@ -299,10 +339,10 @@ impl Sbb {
                     },
                     |e| retired_aware && !e.retired,
                 );
-                self.keys.insert(branch.pc);
+                self.key_insert(branch.pc);
                 if let Some((tag, old)) = evicted {
                     if tag != branch.pc {
-                        self.keys.remove(&tag);
+                        self.key_remove(tag);
                         if !old.retired {
                             self.stats.evicted_unretired += 1;
                         }
@@ -344,12 +384,12 @@ impl Sbb {
     pub fn invalidate(&mut self, pc: u64) {
         let uset = self.u.set_of(pc);
         if self.u.invalidate(uset, pc).is_some() {
-            self.keys.remove(&pc);
+            self.key_remove(pc);
             return;
         }
         let rset = self.r.set_of(pc);
         if self.r.invalidate(rset, pc).is_some() {
-            self.keys.remove(&pc);
+            self.key_remove(pc);
         }
     }
 

@@ -22,6 +22,7 @@
 //!    branches.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use skia_isa::{decode, BranchKind, DecodeError, InsnKind};
 
@@ -105,10 +106,10 @@ pub struct ShadowDecoderStats {
     pub valid_path_sum: u64,
 }
 
-/// Entry bound for the head-decode memo: at ~100 bytes per cached
-/// [`HeadDecode`] this is ≈2 MB, and a workload's hot lines fit many times
-/// over. The memo is cleared wholesale when full (re-decoding is cheap;
-/// bookkeeping an LRU here would cost more than it saves).
+/// Entry bound for the head- and tail-decode memos: at ~100 bytes per
+/// cached [`HeadDecode`] this is ≈2 MB, and a workload's hot lines fit many
+/// times over. Each memo is cleared wholesale when full (re-decoding is
+/// cheap; bookkeeping an LRU here would cost more than it saves).
 const HEAD_MEMO_CAP: usize = 16 * 1024;
 
 /// The decoder: configuration plus counters. Decoding itself is pure.
@@ -123,10 +124,18 @@ pub struct ShadowDecoder {
     /// does. Keyed by `(line base, entry offset, FNV-1a of the head bytes)`
     /// — the content hash guards the (test-only) case of different bytes at
     /// one address. Results are pure given the key and the fixed policy, so
-    /// hits replay the stat increments and return a clone.
+    /// hits replay the stat increments and return a shared `Arc` handle
+    /// (no per-hit allocation).
     ///
     /// [`decode_head`]: ShadowDecoder::decode_head
-    head_memo: HashMap<(u64, u32, u64), HeadDecode>,
+    head_memo: HashMap<(u64, u32, u64), Arc<HeadDecode>, MemoBuild>,
+    /// Memo for [`decode_tail`], same scheme as `head_memo`: keyed by
+    /// `(line base, exit offset, FNV-1a of the tail bytes)`. Tail decoding
+    /// is a pure linear decode, so a hit returns a shared handle and
+    /// replays the identical stat increments.
+    ///
+    /// [`decode_tail`]: ShadowDecoder::decode_tail
+    tail_memo: HashMap<(u64, u32, u64), Arc<Vec<ShadowBranch>>, MemoBuild>,
 }
 
 impl Default for ShadowDecoder {
@@ -135,15 +144,60 @@ impl Default for ShadowDecoder {
     }
 }
 
-/// FNV-1a 64 over a byte slice (head-region content hash for the memo key).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
+/// Content hash for the memo keys: FNV-1a-style mixing over 8-byte words
+/// (regions are at most a cache line, so this is a handful of multiplies
+/// instead of one per byte — the hash runs on every decode call). The
+/// length is folded in so a short region never collides with a longer one
+/// sharing a prefix.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash ^= u64::from_le_bytes(c.try_into().unwrap());
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    hash
+    let mut tail: u64 = 0;
+    for &b in chunks.remainder() {
+        tail = (tail << 8) | u64::from(b);
+    }
+    hash ^= tail;
+    hash.wrapping_mul(0x0000_0100_0000_01b3)
 }
+
+/// Shared empty result for zero-length head regions, so the hot early-out
+/// in [`ShadowDecoder::decode_head`] never allocates.
+fn empty_head() -> Arc<HeadDecode> {
+    static EMPTY: std::sync::OnceLock<Arc<HeadDecode>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(HeadDecode::default())))
+}
+
+/// FNV-1a table hasher for the memo maps. The memos are consulted on every
+/// shadow-decoded block, and std's default SipHash shows up in profiles;
+/// the keys already contain a content hash, so a fast non-keyed hasher
+/// loses nothing (the maps are never exposed to untrusted keys).
+#[derive(Clone)]
+pub(crate) struct FnvTableHasher(u64);
+
+impl Default for FnvTableHasher {
+    fn default() -> Self {
+        FnvTableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvTableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+pub(crate) type MemoBuild = std::hash::BuildHasherDefault<FnvTableHasher>;
 
 impl ShadowDecoder {
     /// Create a decoder with the given index policy and valid-path bound
@@ -155,7 +209,8 @@ impl ShadowDecoder {
             policy,
             max_valid_paths,
             stats: ShadowDecoderStats::default(),
-            head_memo: HashMap::new(),
+            head_memo: HashMap::default(),
+            tail_memo: HashMap::default(),
         }
     }
 
@@ -182,8 +237,18 @@ impl ShadowDecoder {
         line: &[u8],
         line_base: u64,
         exit_offset: usize,
-    ) -> Vec<ShadowBranch> {
+    ) -> Arc<Vec<ShadowBranch>> {
         self.stats.tail_regions += 1;
+        let key = (
+            line_base,
+            exit_offset as u32,
+            content_hash(&line[exit_offset.min(line.len())..]),
+        );
+        if let Some(hit) = self.tail_memo.get(&key) {
+            let found = Arc::clone(hit);
+            self.stats.tail_branches += found.len() as u64;
+            return found;
+        }
         let mut found = Vec::new();
         let mut off = exit_offset;
         while off < line.len() {
@@ -216,6 +281,11 @@ impl ShadowDecoder {
             }
         }
         self.stats.tail_branches += found.len() as u64;
+        if self.tail_memo.len() >= HEAD_MEMO_CAP {
+            self.tail_memo.clear();
+        }
+        let found = Arc::new(found);
+        self.tail_memo.insert(key, Arc::clone(&found));
         found
     }
 
@@ -226,24 +296,29 @@ impl ShadowDecoder {
     /// `(line base, entry offset, head bytes)`: a memo hit replays the same
     /// stat increments a fresh decode would make, so counters are identical
     /// with and without the memo.
-    pub fn decode_head(&mut self, line: &[u8], line_base: u64, entry_offset: usize) -> HeadDecode {
+    pub fn decode_head(
+        &mut self,
+        line: &[u8],
+        line_base: u64,
+        entry_offset: usize,
+    ) -> Arc<HeadDecode> {
         self.stats.head_regions += 1;
         let entry = entry_offset.min(line.len());
         if entry == 0 {
-            return HeadDecode::default();
+            return empty_head();
         }
-        let key = (line_base, entry as u32, fnv1a(&line[..entry]));
+        let key = (line_base, entry as u32, content_hash(&line[..entry]));
         if let Some(hit) = self.head_memo.get(&key) {
-            let hd = hit.clone();
+            let hd = Arc::clone(hit);
             self.record_head_stats(&hd);
             return hd;
         }
-        let hd = self.decode_head_uncached(line, line_base, entry);
+        let hd = Arc::new(self.decode_head_uncached(line, line_base, entry));
         self.record_head_stats(&hd);
         if self.head_memo.len() >= HEAD_MEMO_CAP {
             self.head_memo.clear();
         }
-        self.head_memo.insert(key, hd.clone());
+        self.head_memo.insert(key, Arc::clone(&hd));
         hd
     }
 

@@ -329,11 +329,11 @@ impl Skia {
         self.sbb.probe(pc)
     }
 
-    /// The lowest SBB-resident shadow-branch PC at or after `pc` (the BPU's
-    /// fetch-window scan, run in parallel with the BTB's).
+    /// The lowest SBB-resident shadow-branch PC in `[start, limit)` (the
+    /// BPU's fetch-window scan, run in parallel with the BTB's).
     #[must_use]
-    pub fn next_key_at_or_after(&self, pc: u64) -> Option<u64> {
-        self.sbb.next_key_at_or_after(pc)
+    pub fn next_key_in(&self, start: u64, limit: u64) -> Option<u64> {
+        self.sbb.next_key_in(start, limit)
     }
 
     /// Commit hook: the branch at `pc`, predicted out of the SBB, retired.

@@ -8,13 +8,17 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use skia_core::SkiaConfig;
 use skia_frontend::{FrontendConfig, SimStats, Simulator};
 use skia_telemetry::{Snapshot, TraceConfig};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
-use skia_workloads::{profile, Profile, Program, Walker};
+use skia_workloads::{
+    load_or_record_trace, profile, Profile, Program, RecordedTrace, TraceCacheOutcome, Walker,
+};
 
 pub use skia_frontend::stats::geomean;
 pub use skia_runner::{thread_count, SweepReport};
@@ -90,6 +94,60 @@ impl Workload {
         skia_frontend::run_instrumented(&self.program, config, trace_config, trace)
     }
 
+    /// Record (or load from the disk trace cache) `steps` walker steps for
+    /// this workload. The cache key is the workload's program spec plus its
+    /// walker parameters, so a cached trace can never be replayed against
+    /// the wrong program.
+    #[must_use]
+    pub fn record_trace(&self, steps: usize) -> (RecordedTrace, TraceCacheOutcome) {
+        load_or_record_trace(
+            &self.program,
+            &self.profile.spec,
+            self.profile.trace_seed,
+            self.profile.spec.mean_trip_count,
+            steps,
+        )
+    }
+
+    /// Run one simulation over a pre-recorded trace. Bit-identical to
+    /// [`Workload::run`] with the same `steps` (the replay stream equals
+    /// the live walk), but RNG- and allocation-free on the trace side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording is shorter than `steps` — a silent short run
+    /// would skew every derived metric.
+    #[must_use]
+    pub fn run_trace(
+        &self,
+        config: FrontendConfig,
+        trace: &RecordedTrace,
+        steps: usize,
+    ) -> SimStats {
+        assert!(trace.len() >= steps, "recorded trace shorter than request");
+        let mut sim = Simulator::new(&self.program, config);
+        sim.run(trace.replay().take(steps))
+    }
+
+    /// [`Workload::run_trace`] with full telemetry export (the replay
+    /// counterpart of [`Workload::run_instrumented`]).
+    #[must_use]
+    pub fn run_instrumented_trace(
+        &self,
+        config: FrontendConfig,
+        trace: &RecordedTrace,
+        steps: usize,
+        trace_config: Option<TraceConfig>,
+    ) -> (SimStats, Snapshot) {
+        assert!(trace.len() >= steps, "recorded trace shorter than request");
+        skia_frontend::run_instrumented(
+            &self.program,
+            config,
+            trace_config,
+            trace.replay().take(steps),
+        )
+    }
+
     /// Run one simulation, recording its telemetry into `emitter` when the
     /// binary was invoked with `--emit-json <path>` (a plain [`Workload::run`]
     /// otherwise).
@@ -132,6 +190,74 @@ pub fn workload(name: &str) -> Arc<Workload> {
     };
     cell.get_or_init(|| Arc::new(Workload::by_name(name)))
         .clone()
+}
+
+/// Process-wide trace-pipeline counters, surfaced by
+/// [`JsonEmitter::finish`] so `--emit-json` output proves whether the
+/// replay fast path ran (the CI perf-smoke step asserts on them).
+#[derive(Debug)]
+struct TraceStats {
+    /// Traces served from the on-disk cache.
+    disk_hits: AtomicU64,
+    /// Traces recorded live (cold cache or longer request).
+    recorded: AtomicU64,
+    /// Column bytes of live recordings.
+    recorded_bytes: AtomicU64,
+    /// Requests satisfied by the in-process memo without touching disk.
+    memo_hits: AtomicU64,
+    /// Sweep jobs that replayed an already-prepared trace instead of
+    /// walking (jobs − unique workloads, summed over sweeps).
+    replay_reuses: AtomicU64,
+    /// Accumulated prepare-phase wall time, microseconds.
+    prepare_micros: AtomicU64,
+}
+
+static TRACE_STATS: TraceStats = TraceStats {
+    disk_hits: AtomicU64::new(0),
+    recorded: AtomicU64::new(0),
+    recorded_bytes: AtomicU64::new(0),
+    memo_hits: AtomicU64::new(0),
+    replay_reuses: AtomicU64::new(0),
+    prepare_micros: AtomicU64::new(0),
+};
+
+/// Process-wide [`RecordedTrace`] memo keyed by benchmark name, holding the
+/// longest trace requested so far for each workload (a longer request
+/// replaces the entry; shorter requests are served as exact prefixes by
+/// `Replay::take`, which walker determinism makes equal to a shorter walk).
+#[must_use]
+pub fn recorded_trace(name: &str, steps: usize) -> Arc<RecordedTrace> {
+    static MEMO: OnceLock<Mutex<HashMap<String, Arc<RecordedTrace>>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(t) = memo.lock().expect("trace memo poisoned").get(name) {
+        if t.len() >= steps {
+            TRACE_STATS.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+    }
+    // Record (or disk-load) outside the lock so distinct benchmarks prepare
+    // concurrently; the sweep prepare phase dedupes names, so duplicated
+    // same-name work is not a steady-state concern.
+    let w = workload(name);
+    let (trace, outcome) = w.record_trace(steps);
+    match outcome {
+        TraceCacheOutcome::DiskHit => {
+            TRACE_STATS.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        TraceCacheOutcome::Recorded => {
+            TRACE_STATS.recorded.fetch_add(1, Ordering::Relaxed);
+            TRACE_STATS
+                .recorded_bytes
+                .fetch_add(trace.byte_size() as u64, Ordering::Relaxed);
+        }
+    }
+    let trace = Arc::new(trace);
+    let mut map = memo.lock().expect("trace memo poisoned");
+    let entry = map.entry(name.to_string()).or_insert_with(|| trace.clone());
+    if entry.len() < trace.len() {
+        *entry = trace.clone();
+    }
+    entry.clone()
 }
 
 /// Parsed command line of an experiment binary.
@@ -345,15 +471,62 @@ impl Sweep {
     /// merging telemetry into `emitter` (also in job order) when it is
     /// enabled. Prints a runs/sec summary — and per-run wall times under
     /// `SKIA_VERBOSE` — to stderr, never stdout.
+    ///
+    /// Runs in two phases. **Prepare**: the distinct workloads among the
+    /// queued jobs are identified (folding each to its longest requested
+    /// step count — a recorded trace serves any prefix) and their traces
+    /// are recorded once each, in parallel, through the trace cache and
+    /// process memo. **Simulate**: every job replays its workload's shared
+    /// `Arc<RecordedTrace>` — an N-config sweep walks each trace once, not
+    /// N times, and the simulate phase is RNG- and walker-free. Replay is
+    /// bit-identical to the live walk, so results are unchanged.
     pub fn run(self, emitter: &mut JsonEmitter) -> Vec<SimStats> {
+        // -- prepare phase ---------------------------------------------------
+        let t0 = Instant::now();
+        let mut uniq: Vec<(String, usize)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for job in &self.jobs {
+            match index.get(job.bench.as_str()) {
+                Some(&i) => uniq[i].1 = uniq[i].1.max(job.steps),
+                None => {
+                    // First appearance fixes the recording order.
+                    index.insert(job.bench.clone(), uniq.len());
+                    uniq.push((job.bench.clone(), job.steps));
+                }
+            }
+        }
+        let traces: Vec<Arc<RecordedTrace>> =
+            skia_runner::run_indexed(&uniq, self.threads, |_, (name, steps)| {
+                recorded_trace(name, *steps)
+            });
+        let reuses = (self.jobs.len() - uniq.len()) as u64;
+        TRACE_STATS
+            .replay_reuses
+            .fetch_add(reuses, Ordering::Relaxed);
+        let prepare = t0.elapsed();
+        TRACE_STATS
+            .prepare_micros
+            .fetch_add(prepare.as_micros() as u64, Ordering::Relaxed);
+        if !self.quiet && !self.jobs.is_empty() {
+            eprintln!(
+                "prepare: {} trace(s) for {} job(s) in {:.2}s ({} replay reuse(s))",
+                uniq.len(),
+                self.jobs.len(),
+                prepare.as_secs_f64(),
+                reuses
+            );
+        }
+
+        // -- simulate phase --------------------------------------------------
         let tc = emitter.trace_config();
         let (timed, report) = skia_runner::run_timed(&self.jobs, self.threads, |_, job| {
             let w = workload(&job.bench);
+            let trace = &traces[index[job.bench.as_str()]];
             match tc {
-                None => (w.run(job.config.clone(), job.steps), None),
+                None => (w.run_trace(job.config.clone(), trace, job.steps), None),
                 Some(tc) => {
                     let (stats, snapshot) =
-                        w.run_instrumented(job.config.clone(), job.steps, Some(tc));
+                        w.run_instrumented_trace(job.config.clone(), trace, job.steps, Some(tc));
                     (stats, Some(snapshot))
                 }
             }
@@ -446,6 +619,34 @@ impl JsonEmitter {
         self.merged
             .counters
             .insert("emit.runs_merged".into(), self.runs);
+        // Trace-pipeline counters: how the record-once/replay-many machinery
+        // behaved for this process (disk cache hits vs. fresh recordings, and
+        // how many sweep jobs replayed an already-recorded trace).
+        let c = &mut self.merged.counters;
+        c.insert(
+            "trace_cache.disk_hits".into(),
+            TRACE_STATS.disk_hits.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "trace_cache.recorded".into(),
+            TRACE_STATS.recorded.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "trace_cache.recorded_bytes".into(),
+            TRACE_STATS.recorded_bytes.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "trace.memo_hits".into(),
+            TRACE_STATS.memo_hits.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "trace.replay_reuses".into(),
+            TRACE_STATS.replay_reuses.load(Ordering::Relaxed),
+        );
+        self.merged.gauges.insert(
+            "trace.prepare_seconds".into(),
+            TRACE_STATS.prepare_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        );
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)

@@ -17,7 +17,7 @@ use skia_uarch::btb::{Btb, IdealBtb};
 use skia_uarch::ittage::Ittage;
 use skia_uarch::ras::ReturnAddressStack;
 use skia_uarch::tage::{Tage, TagePrediction};
-use skia_workloads::Program;
+use skia_workloads::{BranchTable, Program};
 
 use crate::config::{BtbMode, FrontendConfig};
 
@@ -52,11 +52,16 @@ impl BtbStore {
         }
     }
 
-    fn next_at_or_after(&self, pc: u64) -> Option<u64> {
-        match self {
-            BtbStore::Finite(b) => b.next_branch_at_or_after(pc),
-            BtbStore::Infinite(b) => b.next_branch_at_or_after(pc),
-        }
+    /// The first BTB-resident branch pc in `[start, limit)`.
+    ///
+    /// Every pc the BTB can hold is a static branch of the program (the only
+    /// insert site is `commit_branch`, fed by retired true-path branches),
+    /// so the program's dense side table enumerates the candidates in the
+    /// window — O(1) per window — and a stats-neutral probe checks residency.
+    /// Replaces the old ordered key mirror (`BTreeSet::range`) with identical
+    /// results and no per-insert maintenance.
+    fn first_resident_in(&self, table: &BranchTable, start: u64, limit: u64) -> Option<u64> {
+        table.first_matching_in(start, limit, |pc| self.probe(pc).is_some())
     }
 }
 
@@ -99,8 +104,10 @@ pub struct PredictedBlock {
 
 /// The BPU.
 #[derive(Debug, Clone)]
-pub struct Bpu {
+pub struct Bpu<'p> {
     btb: BtbStore,
+    /// The program's dense static-branch side table (window-scan candidates).
+    table: &'p BranchTable,
     /// Skia mechanism, when configured.
     pub skia: Option<Skia>,
     tage: Tage,
@@ -111,16 +118,19 @@ pub struct Bpu {
     max_block_bytes: u64,
 }
 
-impl Bpu {
-    /// Build the BPU from the front-end configuration.
+impl<'p> Bpu<'p> {
+    /// Build the BPU from the front-end configuration. `table` is the
+    /// program's precomputed branch side table (see
+    /// [`Program::branch_table`](skia_workloads::Program::branch_table)).
     #[must_use]
-    pub fn new(config: &FrontendConfig, start_pc: u64) -> Self {
+    pub fn new(config: &FrontendConfig, start_pc: u64, table: &'p BranchTable) -> Self {
         let btb = match config.btb {
             BtbMode::Finite(c) => BtbStore::Finite(Btb::new(c)),
             BtbMode::Infinite => BtbStore::Infinite(IdealBtb::new()),
         };
         Bpu {
             btb,
+            table,
             skia: config.skia.map(Skia::new),
             tage: Tage::new(config.tage.clone()),
             ittage: Ittage::new(
@@ -166,13 +176,13 @@ impl Bpu {
         let entered_by_branch = self.entered_by_branch;
 
         // Where is the next branch the BPU knows about? BTB and SBB are
-        // scanned in parallel (Fig. 11); the BTB wins ties.
-        let cand_btb = self.btb.next_at_or_after(start).filter(|&p| p < limit);
-        let cand_sbb = self
-            .skia
-            .as_ref()
-            .and_then(|s| s.next_key_at_or_after(start))
-            .filter(|&p| p < limit);
+        // scanned in parallel (Fig. 11); the BTB wins ties. The BTB side
+        // enumerates static branches in the window via the side table (BTB
+        // keys are always real branches); the SBB side keeps its own key
+        // scan because shadow decoding can install mis-decoded pcs that are
+        // not static branches at all.
+        let cand_btb = self.btb.first_resident_in(self.table, start, limit);
+        let cand_sbb = self.skia.as_ref().and_then(|s| s.next_key_in(start, limit));
         let branch_pc = match (cand_btb, cand_sbb) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -387,15 +397,37 @@ impl Bpu {
 mod tests {
     use super::*;
     use skia_core::SkiaConfig;
-    use skia_workloads::{Program, ProgramSpec};
+    use skia_workloads::{BranchRecord, Program, ProgramSpec};
 
-    fn bpu() -> Bpu {
-        Bpu::new(&FrontendConfig::test_small(), 0x1000)
+    fn rec(pc: u64, kind: BranchKind, len: u8) -> BranchRecord {
+        BranchRecord {
+            pc,
+            block_start: pc & !63,
+            target: None,
+            fallthrough: pc + u64::from(len),
+            insns: 2,
+            len,
+            kind,
+        }
+    }
+
+    /// Static branch table covering every pc the unit tests commit.
+    fn test_table() -> BranchTable {
+        BranchTable::from_records(vec![
+            rec(0x1010, BranchKind::DirectUncond, 5),
+            rec(0x2000, BranchKind::Return, 1),
+            rec(0x1000 + 500, BranchKind::DirectUncond, 5),
+        ])
+    }
+
+    fn bpu(table: &BranchTable) -> Bpu<'_> {
+        Bpu::new(&FrontendConfig::test_small(), 0x1000, table)
     }
 
     #[test]
     fn empty_bpu_predicts_sequential_lines() {
-        let mut b = bpu();
+        let table = test_table();
+        let mut b = bpu(&table);
         let blk = b.predict_block();
         assert_eq!(blk.start, 0x1000);
         assert_eq!(blk.end, 0x1040);
@@ -408,7 +440,8 @@ mod tests {
 
     #[test]
     fn btb_hit_forms_branch_block() {
-        let mut b = bpu();
+        let table = test_table();
+        let mut b = bpu(&table);
         b.commit_branch(
             0x1010,
             BranchKind::DirectUncond,
@@ -432,7 +465,8 @@ mod tests {
 
     #[test]
     fn call_and_return_use_the_ras() {
-        let mut b = bpu();
+        let table = test_table();
+        let mut b = bpu(&table);
         // Commit a call at 0x1010 (len 5) and a ret at 0x2000.
         b.commit_branch(
             0x1010,
@@ -469,7 +503,6 @@ mod tests {
     fn sbb_supplies_on_btb_miss() {
         let mut config = FrontendConfig::test_small();
         config.skia = Some(SkiaConfig::default());
-        let mut b = Bpu::new(&config, 0x1000);
 
         // Plant a shadow branch via the SBD tail path: build a line where a
         // taken branch exits at offset 2 and a jmp follows.
@@ -478,6 +511,7 @@ mod tests {
             ..ProgramSpec::default()
         };
         let program = Program::generate(&spec);
+        let mut b = Bpu::new(&config, 0x1000, program.branch_table());
         // Find a real tail opportunity: any block whose taken terminator
         // ends mid-line.
         let mut planted = None;
@@ -518,7 +552,8 @@ mod tests {
 
     #[test]
     fn scan_respects_window_limit() {
-        let mut b = bpu();
+        let table = test_table();
+        let mut b = bpu(&table);
         b.commit_branch(
             0x1000 + 500,
             BranchKind::DirectUncond,

@@ -83,7 +83,7 @@ struct InFlight {
 pub struct Simulator<'p> {
     program: &'p Program,
     config: FrontendConfig,
-    bpu: Bpu,
+    bpu: Bpu<'p>,
     hier: Hierarchy,
     registry: MetricRegistry,
     tel: FrontendTelemetry,
@@ -104,7 +104,7 @@ impl<'p> Simulator<'p> {
         let start = program.functions()[0].entry;
         let mut registry = MetricRegistry::new();
         let tel = FrontendTelemetry::register(&mut registry);
-        let mut bpu = Bpu::new(&config, start);
+        let mut bpu = Bpu::new(&config, start, program.branch_table());
         if let Some(skia) = &mut bpu.skia {
             skia.attach_telemetry(tel.sbb_lifetime.clone(), None);
         }
@@ -289,8 +289,7 @@ impl<'p> Simulator<'p> {
         let mut max_latency = 0u32;
         let mut la = first;
         loop {
-            let resident = self.hier.l1i_contains(la);
-            let lat = self.hier.fetch_line(la, true);
+            let (resident, lat) = self.hier.fetch_line_tracking(la, true);
             max_latency = max_latency.max(lat);
             lines.push(la, resident);
             self.tel
@@ -396,7 +395,9 @@ impl<'p> Simulator<'p> {
     // -- commit paths --------------------------------------------------------
 
     fn static_target(&self, pc: u64) -> Option<u64> {
-        self.program.branch_at(pc).and_then(|m| m.target)
+        // Dense side-table lookup (O(1) line index) instead of the
+        // program's HashMap-of-metadata path — this runs once per commit.
+        self.program.branch_table().target_of(pc)
     }
 
     fn kind_counters(&mut self, kind: BranchKind) {
@@ -611,7 +612,7 @@ impl<'p> Simulator<'p> {
 
 impl<'p> Simulator<'p> {
     /// Mutable access to the BPU (testing and fault-injection aid).
-    pub fn bpu_mut(&mut self) -> &mut Bpu {
+    pub fn bpu_mut(&mut self) -> &mut Bpu<'p> {
         &mut self.bpu
     }
 }

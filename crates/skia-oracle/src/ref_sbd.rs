@@ -259,7 +259,7 @@ mod tests {
                     assert_eq!(a.discarded, b.discarded);
                     let t1 = oracle.decode_tail(line, base, 5);
                     let t2 = prod.decode_tail(line, base, 5);
-                    assert_eq!(t1, t2);
+                    assert_eq!(t1, *t2);
                 }
             }
             assert_eq!(oracle.stats(), prod.stats(), "policy {policy:?}");

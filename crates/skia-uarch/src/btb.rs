@@ -69,13 +69,14 @@ pub struct BtbEntry {
 
 /// Set-associative BTB indexed by branch PC.
 ///
-/// Keeps an ordered mirror of resident branch PCs so the BPU can answer
-/// "where is the next branch I know about at or after this address?" — the
-/// question a real BTB answers with its fetch-block indexing — in O(log n).
+/// The BPU's "where is the next branch I know about in this fetch window?"
+/// question is answered by probing the program's dense branch side table
+/// (`skia-workloads`) against [`Btb::probe`] — a resident pc is always a
+/// static branch of the program, so the BTB keeps no ordered key mirror
+/// and inserts/evictions pay no index maintenance.
 #[derive(Debug, Clone)]
 pub struct Btb {
     arr: TagArray<BtbEntry>,
-    keys: std::collections::BTreeSet<u64>,
     config: BtbConfig,
     lookups: u64,
     hits: u64,
@@ -87,7 +88,6 @@ impl Btb {
     pub fn new(config: BtbConfig) -> Self {
         Btb {
             arr: TagArray::new(config.sets(), config.ways),
-            keys: std::collections::BTreeSet::new(),
             config,
             lookups: 0,
             hits: 0,
@@ -127,20 +127,10 @@ impl Btb {
     pub fn insert(&mut self, pc: u64, kind: BranchKind, target: u64, len: u8) -> Option<u64> {
         let set = self.set_of(pc);
         let evicted = self.arr.insert(set, pc, BtbEntry { kind, target, len });
-        self.keys.insert(pc);
         match evicted {
-            Some((old_pc, _)) if old_pc != pc => {
-                self.keys.remove(&old_pc);
-                Some(old_pc)
-            }
+            Some((old_pc, _)) if old_pc != pc => Some(old_pc),
             _ => None,
         }
-    }
-
-    /// The lowest resident branch PC at or after `pc` (no state change).
-    #[must_use]
-    pub fn next_branch_at_or_after(&self, pc: u64) -> Option<u64> {
-        self.keys.range(pc..).next().copied()
     }
 
     /// Number of valid entries.
@@ -164,9 +154,12 @@ impl Btb {
 
 /// An unbounded, fully associative BTB — the paper's "Infinite, Fully
 /// Associative BTB" upper-bound configuration (Fig. 3).
+///
+/// Keyed-lookup only (never iterated), so a hash map's unspecified order
+/// cannot leak into results.
 #[derive(Debug, Clone, Default)]
 pub struct IdealBtb {
-    map: std::collections::BTreeMap<u64, BtbEntry>,
+    map: std::collections::HashMap<u64, BtbEntry>,
 }
 
 impl IdealBtb {
@@ -185,12 +178,6 @@ impl IdealBtb {
     /// Install the branch at `pc`.
     pub fn insert(&mut self, pc: u64, kind: BranchKind, target: u64, len: u8) {
         self.map.insert(pc, BtbEntry { kind, target, len });
-    }
-
-    /// The lowest resident branch PC at or after `pc`.
-    #[must_use]
-    pub fn next_branch_at_or_after(&self, pc: u64) -> Option<u64> {
-        self.map.range(pc..).next().map(|(&k, _)| k)
     }
 
     /// Number of distinct branches ever installed.
@@ -255,37 +242,25 @@ mod tests {
     }
 
     #[test]
-    fn key_mirror_tracks_evictions() {
+    fn probe_is_stats_and_recency_neutral() {
+        // The BPU's window scan probes candidate pcs every predict; those
+        // probes must not disturb LRU order or the lookup/hit counters.
         let mut btb = Btb::new(BtbConfig {
-            entries: 4,
+            entries: 2,
             ways: 2,
         });
-        for i in 0..8u64 {
-            btb.insert(i * 2, BranchKind::Call, 0, 5);
-        }
-        // Mirror must agree with the array for every address.
-        let mut from_keys = Vec::new();
-        let mut pc = 0u64;
-        while let Some(k) = btb.next_branch_at_or_after(pc) {
-            from_keys.push(k);
-            pc = k + 1;
-        }
-        let from_probe: Vec<u64> = (0..8u64)
-            .map(|i| i * 2)
-            .filter(|&p| btb.probe(p).is_some())
-            .collect();
-        assert_eq!(from_keys, from_probe);
-    }
-
-    #[test]
-    fn next_branch_scan() {
-        let mut btb = Btb::new(BtbConfig::with_entries(64));
         btb.insert(0x100, BranchKind::Call, 0, 5);
-        btb.insert(0x180, BranchKind::Return, 0, 1);
-        assert_eq!(btb.next_branch_at_or_after(0), Some(0x100));
-        assert_eq!(btb.next_branch_at_or_after(0x100), Some(0x100));
-        assert_eq!(btb.next_branch_at_or_after(0x101), Some(0x180));
-        assert_eq!(btb.next_branch_at_or_after(0x181), None);
+        btb.insert(0x102, BranchKind::Return, 0, 1);
+        let stats_before = btb.stats();
+        for _ in 0..100 {
+            assert!(btb.probe(0x100).is_some());
+            assert!(btb.probe(0x104).is_none());
+        }
+        assert_eq!(btb.stats(), stats_before);
+        // 0x100 is still LRU despite the probes: the next insert evicts it.
+        btb.insert(0x104, BranchKind::Call, 0, 5);
+        assert!(btb.probe(0x100).is_none(), "probe must not refresh LRU");
+        assert!(btb.probe(0x102).is_some());
     }
 
     #[test]

@@ -283,13 +283,20 @@ impl Hierarchy {
     /// into L1-I (and the levels it passed through) if it missed. `prefetch`
     /// selects prefetch-vs-demand accounting and pollution tracking.
     pub fn fetch_line(&mut self, addr: u64, prefetch: bool) -> u32 {
+        self.fetch_line_tracking(addr, prefetch).1
+    }
+
+    /// As [`Hierarchy::fetch_line`], additionally returning whether the line
+    /// was already L1-I resident before the access — the hit outcome of the
+    /// L1 lookup itself, saving the FDIP loop a separate residency probe.
+    pub fn fetch_line_tracking(&mut self, addr: u64, prefetch: bool) -> (bool, u32) {
         let l1_hit = if prefetch {
             self.l1i.prefetch_access(addr)
         } else {
             self.l1i.demand_access(addr)
         };
         if l1_hit {
-            return self.latencies.l1_hit;
+            return (true, self.latencies.l1_hit);
         }
         // L2 lookup.
         let latency = if self.l2.demand_access(addr) {
@@ -303,7 +310,7 @@ impl Hierarchy {
             self.latencies.dram
         };
         self.l1i.fill(addr, prefetch);
-        latency
+        (false, latency)
     }
 
     /// Whether the line containing `addr` is resident in the L1-I — the

@@ -53,23 +53,28 @@ proptest! {
         prop_assert!(c.resident_lines() <= 8);
     }
 
-    /// The BTB's ordered key mirror always agrees with probe().
+    /// Residency reconstructed from insert()'s evicted-pc return value
+    /// always agrees with probe() — the contract the BPU's side-table
+    /// window scan (probe per static-branch candidate) depends on.
     #[test]
-    fn btb_mirror_consistency(pcs in proptest::collection::vec(any::<u32>(), 1..200)) {
+    fn btb_eviction_reports_track_residency(pcs in proptest::collection::vec(any::<u32>(), 1..200)) {
         let mut btb = Btb::new(BtbConfig { entries: 32, ways: 4 });
+        let mut resident = std::collections::BTreeSet::new();
         for &pc in &pcs {
-            btb.insert(u64::from(pc), BranchKind::Call, 0, 5);
+            let pc = u64::from(pc);
+            if let Some(evicted) = btb.insert(pc, BranchKind::Call, 0, 5) {
+                prop_assert!(resident.remove(&evicted), "evicted {evicted:#x} was not resident");
+            }
+            resident.insert(pc);
         }
-        // Walk the mirror; every reported key must probe-hit, in order.
-        let mut cursor = 0u64;
-        let mut count = 0usize;
-        while let Some(k) = btb.next_branch_at_or_after(cursor) {
-            prop_assert!(k >= cursor);
-            prop_assert!(btb.probe(k).is_some(), "mirror key {k:#x} not resident");
-            cursor = k + 1;
-            count += 1;
+        prop_assert_eq!(resident.len(), btb.len());
+        for &pc in &resident {
+            prop_assert!(btb.probe(pc).is_some(), "tracked pc {pc:#x} not resident");
         }
-        prop_assert_eq!(count, btb.len());
+        for &pc in &pcs {
+            let pc = u64::from(pc);
+            prop_assert_eq!(btb.probe(pc).is_some(), resident.contains(&pc));
+        }
     }
 
     /// RAS checkpoint/restore always undoes one speculative excursion of

@@ -29,12 +29,19 @@ use std::path::{Path, PathBuf};
 use skia_isa::BranchKind;
 
 use crate::program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
+use crate::trace::RecordedTrace;
 
 /// Bumped whenever the on-disk layout or the generator's output changes;
 /// mismatched files are regenerated.
 const FORMAT_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 8] = b"SKIAPROG";
+
+/// Bumped whenever the trace columns or the walker's behaviour change;
+/// mismatched files are re-recorded.
+const TRACE_FORMAT_VERSION: u32 = 1;
+
+const TRACE_MAGIC: &[u8; 8] = b"SKIATRAC";
 
 /// Generate `spec`'s program, consulting the on-disk cache first.
 ///
@@ -54,6 +61,76 @@ pub fn load_or_generate(spec: &ProgramSpec) -> Program {
     let program = Program::generate(spec);
     try_store(&dir, &path, spec, &program);
     program
+}
+
+/// How [`load_or_record_trace`] satisfied a request (telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCacheOutcome {
+    /// Served from disk — possibly a prefix of a longer stored trace
+    /// (walker determinism makes the prefix exact).
+    DiskHit,
+    /// Recorded live: cache disabled, entry missing/corrupt/stale, or the
+    /// stored trace was shorter than the request (the longer recording
+    /// then replaces it).
+    Recorded,
+}
+
+/// Record `steps` walker steps over `program`, consulting the on-disk trace
+/// cache first.
+///
+/// `spec` must be the spec `program` was generated from — its canonical
+/// bytes key and verify the entry exactly as the program cache does, so a
+/// trace can never be replayed against the wrong program. A stored trace
+/// at least as long as the request serves it as a prefix; a shorter one is
+/// replaced by the longer recording.
+#[must_use]
+pub fn load_or_record_trace(
+    program: &Program,
+    spec: &ProgramSpec,
+    seed: u64,
+    mean_trip: u32,
+    steps: usize,
+) -> (RecordedTrace, TraceCacheOutcome) {
+    load_or_record_trace_in(
+        cache_dir().as_deref(),
+        program,
+        spec,
+        seed,
+        mean_trip,
+        steps,
+    )
+}
+
+/// [`load_or_record_trace`] against an explicit cache directory (`None`
+/// disables caching). Separated so tests can avoid the `SKIA_CACHE` env
+/// var, which is process-global.
+fn load_or_record_trace_in(
+    dir: Option<&Path>,
+    program: &Program,
+    spec: &ProgramSpec,
+    seed: u64,
+    mean_trip: u32,
+    steps: usize,
+) -> (RecordedTrace, TraceCacheOutcome) {
+    let Some(dir) = dir else {
+        return (
+            RecordedTrace::record(program, seed, mean_trip, steps),
+            TraceCacheOutcome::Recorded,
+        );
+    };
+    let key = trace_key(spec, seed, mean_trip);
+    let path = dir.join(format!("trace-{key:016x}-v{TRACE_FORMAT_VERSION}.bin"));
+    // A prefix-bounded load materializes at most `steps` steps; it comes
+    // back shorter only when the stored recording itself is shorter, in
+    // which case the walk is re-recorded at the longer length below.
+    if let Some(stored) = try_load_trace(&path, spec, seed, mean_trip, Some(steps)) {
+        if stored.len() >= steps {
+            return (stored, TraceCacheOutcome::DiskHit);
+        }
+    }
+    let trace = RecordedTrace::record(program, seed, mean_trip, steps);
+    try_store_trace(dir, &path, spec, &trace);
+    (trace, TraceCacheOutcome::Recorded)
 }
 
 /// Resolve the cache directory: `SKIA_CACHE` env var (a path, or `0`/`off`
@@ -114,6 +191,30 @@ fn spec_bytes(spec: &ProgramSpec) -> Vec<u8> {
         Layout::Interleaved => 0,
         Layout::Bolted => 1,
     });
+    out
+}
+
+/// FNV-1a 64 over the trace identity: the program spec's canonical bytes
+/// plus the walker parameters. Step count is deliberately excluded — one
+/// entry per walk identity, serving any length up to what it stores.
+fn trace_key(spec: &ProgramSpec, seed: u64, mean_trip: u32) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &b in &trace_ident(spec, seed, mean_trip) {
+        mix(b);
+    }
+    hash
+}
+
+/// Canonical identity bytes of a trace: spec encoding ++ seed ++ mean_trip.
+/// Embedded in the cache file and compared exactly on load.
+fn trace_ident(spec: &ProgramSpec, seed: u64, mean_trip: u32) -> Vec<u8> {
+    let mut out = spec_bytes(spec);
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&mean_trip.to_le_bytes());
     out
 }
 
@@ -292,6 +393,129 @@ fn deserialize(bytes: &[u8], spec: &ProgramSpec) -> Option<Program> {
     ))
 }
 
+fn serialize_trace(
+    spec: &ProgramSpec,
+    seed: u64,
+    mean_trip: u32,
+    trace: &RecordedTrace,
+) -> Vec<u8> {
+    let n = trace.len();
+    let mut out = Vec::with_capacity(64 + trace.byte_size());
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    let ident = trace_ident(spec, seed, mean_trip);
+    out.extend_from_slice(&(ident.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ident);
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&trace.first_block_start.to_le_bytes());
+    for &v in &trace.branch_pc {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in &trace.next_pc {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in &trace.insns {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&trace.kind);
+    out.extend_from_slice(&trace.branch_len);
+    for &w in &trace.taken {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a stored trace. `want` bounds how much is *materialized*: when the
+/// stored trace is longer, only the first `want` steps are parsed and the
+/// rest of each column is skipped (columns are contiguous, so the skip is
+/// pure pointer arithmetic). This keeps a cache hit O(requested) even when
+/// the stored recording is much longer — a sweep asking for 20K steps must
+/// not pay to decode a 400K-step file. The returned trace equals
+/// [`RecordedTrace::prefix`] of a full load; the structural checks (magic,
+/// version, exact identity echo, total file size) always cover the whole
+/// file, while per-element validation covers the materialized prefix.
+fn deserialize_trace(
+    bytes: &[u8],
+    spec: &ProgramSpec,
+    seed: u64,
+    mean_trip: u32,
+    want: Option<usize>,
+) -> Option<RecordedTrace> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(TRACE_MAGIC.len())? != TRACE_MAGIC || r.u32()? != TRACE_FORMAT_VERSION {
+        return None;
+    }
+    let ident = trace_ident(spec, seed, mean_trip);
+    let stored_len = usize::try_from(r.u32()?).ok()?;
+    if stored_len != ident.len() || r.take(stored_len)? != ident.as_slice() {
+        return None; // hash collision or different walk identity
+    }
+    let n = r.len(22)?;
+    let keep = match want {
+        Some(w) if w < n => w,
+        _ => n,
+    };
+    let stored_first = r.u64()?;
+    let first_block_start = if keep == 0 { 0 } else { stored_first };
+    let u64_col = |r: &mut Reader| -> Option<Vec<u64>> {
+        let col: Vec<u64> = r
+            .take(keep * 8)?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        r.take((n - keep) * 8)?;
+        Some(col)
+    };
+    let branch_pc = u64_col(&mut r)?;
+    let next_pc = u64_col(&mut r)?;
+    let insns: Vec<u32> = r
+        .take(keep * 4)?
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    r.take((n - keep) * 4)?;
+    let kind = r.take(keep)?.to_vec();
+    if kind
+        .iter()
+        .any(|&k| usize::from(k) >= BranchKind::ALL.len())
+    {
+        return None; // out-of-range kind index — corrupt
+    }
+    r.take(n - keep)?;
+    let branch_len = r.take(keep)?.to_vec();
+    r.take(n - keep)?;
+    let mut taken: Vec<u64> = r
+        .take(keep.div_ceil(64) * 8)?
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    r.take((n.div_ceil(64) - keep.div_ceil(64)) * 8)?;
+    if keep % 64 != 0 {
+        if let Some(last) = taken.last_mut() {
+            let stray = *last & !((1u64 << (keep % 64)) - 1);
+            if keep == n && stray != 0 {
+                return None; // stray bits past the step count — corrupt
+            }
+            // Prefix load: bits past `keep` belong to the stored tail.
+            *last &= (1u64 << (keep % 64)) - 1;
+        }
+    }
+    if r.pos != bytes.len() {
+        return None; // trailing garbage — treat as corrupt
+    }
+    Some(RecordedTrace {
+        seed,
+        mean_trip,
+        first_block_start,
+        branch_pc,
+        next_pc,
+        insns,
+        kind,
+        branch_len,
+        taken,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // File I/O (best-effort)
 // ---------------------------------------------------------------------------
@@ -299,6 +523,129 @@ fn deserialize(bytes: &[u8], spec: &ProgramSpec) -> Option<Program> {
 fn try_load(path: &Path, spec: &ProgramSpec) -> Option<Program> {
     let bytes = std::fs::read(path).ok()?;
     deserialize(&bytes, spec)
+}
+
+/// Load a stored trace, materializing at most `want` steps.
+///
+/// When the request covers the whole file the file is read and decoded in
+/// one pass. When the stored trace is longer, only the needed byte ranges —
+/// the header plus each column's prefix — are read via seeks, so a hit
+/// costs I/O and decode proportional to the *request*, not to the stored
+/// length (a 20K-step load from a 400K-step file reads ~5% of it). The
+/// structural checks still cover the whole file: magic, version, exact
+/// identity echo, and the file size implied by the stored step count.
+fn try_load_trace(
+    path: &Path,
+    spec: &ProgramSpec,
+    seed: u64,
+    mean_trip: u32,
+    want: Option<usize>,
+) -> Option<RecordedTrace> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+
+    let mut f = std::fs::File::open(path).ok()?;
+    let file_len = f.metadata().ok()?.len();
+    let ident = trace_ident(spec, seed, mean_trip);
+    // magic + version + ident_len + ident + n + first_block_start
+    let header_len = 8 + 4 + 4 + ident.len() + 8 + 8;
+    if (file_len as usize) < header_len {
+        return None;
+    }
+    let mut head = vec![0u8; header_len];
+    f.read_exact(&mut head).ok()?;
+    let mut r = Reader { buf: &head, pos: 0 };
+    if r.take(TRACE_MAGIC.len())? != TRACE_MAGIC || r.u32()? != TRACE_FORMAT_VERSION {
+        return None;
+    }
+    if usize::try_from(r.u32()?).ok()? != ident.len() || r.take(ident.len())? != ident.as_slice() {
+        return None; // hash collision or different walk identity
+    }
+    let n = usize::try_from(r.u64()?).ok()?;
+    let expect = (header_len as u64)
+        .checked_add((n as u64).checked_mul(22)?)?
+        .checked_add((n.div_ceil(64) as u64).checked_mul(8)?)?;
+    if file_len != expect {
+        return None; // truncated or trailing garbage — treat as corrupt
+    }
+    let keep = match want {
+        Some(w) if w < n => w,
+        _ => n,
+    };
+    if keep == n {
+        // Full load: one contiguous read of the remainder.
+        let mut rest = vec![0u8; file_len as usize - header_len];
+        f.read_exact(&mut rest).ok()?;
+        let mut whole = head;
+        whole.extend_from_slice(&rest);
+        return deserialize_trace(&whole, spec, seed, mean_trip, want);
+    }
+    let stored_first = r.u64()?;
+    let first_block_start = if keep == 0 { 0 } else { stored_first };
+    // Column prefixes via seeks. Offsets are relative to the column area.
+    let base = header_len as u64;
+    let mut col = |offset: u64, len: usize| -> Option<Vec<u8>> {
+        f.seek(SeekFrom::Start(base + offset)).ok()?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).ok()?;
+        Some(buf)
+    };
+    let n64 = n as u64;
+    let u64s = |b: Vec<u8>| -> Vec<u64> {
+        b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    };
+    let branch_pc = u64s(col(0, keep * 8)?);
+    let next_pc = u64s(col(8 * n64, keep * 8)?);
+    let insns: Vec<u32> = col(16 * n64, keep * 4)?
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let kind = col(20 * n64, keep)?;
+    if kind
+        .iter()
+        .any(|&k| usize::from(k) >= BranchKind::ALL.len())
+    {
+        return None; // out-of-range kind index — corrupt
+    }
+    let branch_len = col(21 * n64, keep)?;
+    let mut taken = u64s(col(22 * n64, keep.div_ceil(64) * 8)?);
+    if keep % 64 != 0 {
+        if let Some(last) = taken.last_mut() {
+            // Bits past `keep` belong to the stored tail of the recording.
+            *last &= (1u64 << (keep % 64)) - 1;
+        }
+    }
+    Some(RecordedTrace {
+        seed,
+        mean_trip,
+        first_block_start,
+        branch_pc,
+        next_pc,
+        insns,
+        kind,
+        branch_len,
+        taken,
+    })
+}
+
+fn try_store_trace(dir: &Path, path: &Path, spec: &ProgramSpec, trace: &RecordedTrace) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = dir.join(format!(
+        ".tmp-trace-{:016x}-{}",
+        trace_key(spec, trace.seed, trace.mean_trip),
+        std::process::id()
+    ));
+    let ok = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(&serialize_trace(spec, trace.seed, trace.mean_trip, trace)))
+        .is_ok();
+    if ok {
+        let _ = std::fs::rename(&tmp, path);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
 }
 
 fn try_store(dir: &Path, path: &Path, spec: &ProgramSpec, program: &Program) {
@@ -463,6 +810,162 @@ mod tests {
             Some(v) => std::env::set_var("SKIA_CACHE", v),
             None => std::env::remove_var("SKIA_CACHE"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_serialize_round_trips_exactly() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let trace = RecordedTrace::record(&program, 42, 8, 777);
+        let bytes = serialize_trace(&spec, 42, 8, &trace);
+        let loaded = deserialize_trace(&bytes, &spec, 42, 8, None).expect("round trip");
+        assert_eq!(trace, loaded);
+    }
+
+    #[test]
+    fn trace_deserialize_rejects_wrong_identity() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let trace = RecordedTrace::record(&program, 42, 8, 200);
+        let bytes = serialize_trace(&spec, 42, 8, &trace);
+        // Different seed, different mean trip, different spec: all miss.
+        assert!(deserialize_trace(&bytes, &spec, 43, 8, None).is_none());
+        assert!(deserialize_trace(&bytes, &spec, 42, 9, None).is_none());
+        let other = ProgramSpec {
+            seed: spec.seed ^ 1,
+            ..test_spec()
+        };
+        assert!(deserialize_trace(&bytes, &other, 42, 8, None).is_none());
+    }
+
+    #[test]
+    fn trace_deserialize_rejects_corruption() {
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+        let trace = RecordedTrace::record(&program, 7, 5, 300);
+        let bytes = serialize_trace(&spec, 7, 5, &trace);
+        // Truncation, a clobbered header byte, and trailing garbage.
+        assert!(deserialize_trace(&bytes[..bytes.len() - 1], &spec, 7, 5, None).is_none());
+        assert!(deserialize_trace(&bytes[1..], &spec, 7, 5, None).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(deserialize_trace(&trailing, &spec, 7, 5, None).is_none());
+        // An out-of-range kind index in the kind column is caught.
+        let mut bad_kind = bytes.clone();
+        let kind_off = bytes.len() - 300 /* len */ - 300 /* kind */ - 8 * 300usize.div_ceil(64);
+        bad_kind[kind_off] = 0xFF;
+        assert!(deserialize_trace(&bad_kind, &spec, 7, 5, None).is_none());
+        // Stray taken bits past the step count are caught.
+        let mut bad_taken = bytes.clone();
+        let last = bad_taken.len() - 1;
+        bad_taken[last] |= 0x80; // bit 63 of the tail word; 300 % 64 == 44
+        assert!(deserialize_trace(&bad_taken, &spec, 7, 5, None).is_none());
+    }
+
+    #[test]
+    fn trace_key_distinguishes_walk_identity() {
+        let spec = test_spec();
+        let a = trace_key(&spec, 1, 8);
+        assert_eq!(a, trace_key(&spec, 1, 8));
+        assert_ne!(a, trace_key(&spec, 2, 8));
+        assert_ne!(a, trace_key(&spec, 1, 9));
+        let other = ProgramSpec {
+            zipf_s: 1.2,
+            ..test_spec()
+        };
+        assert_ne!(a, trace_key(&other, 1, 8));
+    }
+
+    #[test]
+    fn trace_cache_serves_prefixes_and_upgrades_on_longer_requests() {
+        let dir = std::env::temp_dir().join(format!("skia-trace-prefix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = test_spec();
+        let program = Program::generate(&spec);
+
+        // Disabled cache records live.
+        let (live, outcome) = load_or_record_trace_in(None, &program, &spec, 5, 8, 400);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+
+        // First store.
+        let (first, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 5, 8, 400);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        assert_eq!(live, first);
+
+        // Same length: disk hit, identical trace.
+        let (again, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 5, 8, 400);
+        assert_eq!(outcome, TraceCacheOutcome::DiskHit);
+        assert_eq!(first, again);
+
+        // Shorter request: served as a prefix, equal to a fresh short walk.
+        let (short, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 5, 8, 150);
+        assert_eq!(outcome, TraceCacheOutcome::DiskHit);
+        assert_eq!(short, RecordedTrace::record(&program, 5, 8, 150));
+
+        // Longer request: re-recorded and the entry upgraded, so the next
+        // long request hits.
+        let (long, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 5, 8, 900);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        assert_eq!(long.len(), 900);
+        let (long2, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 5, 8, 900);
+        assert_eq!(outcome, TraceCacheOutcome::DiskHit);
+        assert_eq!(long, long2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_cache_survives_corruption_and_version_bumps() {
+        let dir = std::env::temp_dir().join(format!("skia-trace-robust-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ProgramSpec {
+            seed: 0x7AC4E,
+            ..test_spec()
+        };
+        let program = Program::generate(&spec);
+        let path = dir.join(format!(
+            "trace-{:016x}-v{TRACE_FORMAT_VERSION}.bin",
+            trace_key(&spec, 9, 6)
+        ));
+        let reference = RecordedTrace::record(&program, 9, 6, 500);
+
+        // First call populates the cache.
+        let (t, _) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
+        assert_eq!(t, reference);
+        assert!(path.exists(), "store after miss");
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated entry: falls back to re-recording, and the rewrite
+        // repairs the file.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let (t, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        assert_eq!(t, reference);
+        assert_eq!(std::fs::read(&path).unwrap(), good, "repaired on reload");
+
+        // Arbitrary garbage: same fallback.
+        std::fs::write(&path, b"not a trace entry").unwrap();
+        let (t, _) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
+        assert_eq!(t, reference);
+
+        // Flipped byte in the embedded identity: exact echo rejects it.
+        let mut flipped = good.clone();
+        flipped[TRACE_MAGIC.len() + 4 + 4] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        let (t, _) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
+        assert_eq!(t, reference);
+
+        // Version bump: misses, re-records, never panics.
+        let mut bumped = good.clone();
+        bumped[TRACE_MAGIC.len()..TRACE_MAGIC.len() + 4]
+            .copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bumped).unwrap();
+        assert!(deserialize_trace(&bumped, &spec, 9, 6, None).is_none());
+        let (t, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        assert_eq!(t, reference);
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

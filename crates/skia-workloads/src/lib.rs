@@ -32,9 +32,13 @@
 pub mod cache;
 pub mod profiles;
 pub mod program;
+pub mod side_table;
+pub mod trace;
 pub mod walker;
 
-pub use cache::load_or_generate;
+pub use cache::{load_or_generate, load_or_record_trace, TraceCacheOutcome};
 pub use profiles::{profile, profile_names, Profile};
 pub use program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
+pub use side_table::{BranchRecord, BranchTable};
+pub use trace::{RecordedTrace, Replay};
 pub use walker::{TraceStep, Walker};

@@ -22,6 +22,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use skia_isa::{encode, BranchKind, CACHE_LINE_BYTES};
 
+use crate::side_table::{BranchRecord, BranchTable};
+
 /// Function layout order in the image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Layout {
@@ -166,8 +168,33 @@ pub struct Program {
     branch_index: HashMap<u64, (u32, u32)>,
     /// block start address → (function index, block index).
     block_index: HashMap<u64, (u32, u32)>,
+    /// Dense pc-sorted branch side table (hot-path metadata lookups).
+    table: BranchTable,
     /// Burst-locality parameters carried from the spec for the walker.
     burst: (usize, f64),
+}
+
+/// Build the dense side table from the assembled functions. Derived data:
+/// never serialized, rebuilt on generation and cache load alike.
+fn build_branch_table(functions: &[Function]) -> BranchTable {
+    let recs: Vec<BranchRecord> = functions
+        .iter()
+        .flat_map(|f| {
+            f.blocks.iter().map(|b| {
+                let t = &b.terminator;
+                BranchRecord {
+                    pc: t.pc,
+                    block_start: b.start,
+                    target: t.target,
+                    fallthrough: t.fallthrough,
+                    insns: b.insns,
+                    len: t.len,
+                    kind: t.kind,
+                }
+            })
+        })
+        .collect();
+    BranchTable::from_records(recs)
 }
 
 // ---------------------------------------------------------------------------
@@ -498,12 +525,14 @@ impl Program {
             }
         }
 
+        let table = build_branch_table(&functions);
         Program {
             base,
             image,
             functions,
             branch_index,
             block_index,
+            table,
             burst: (spec.burst_pool, spec.burst_prob),
         }
     }
@@ -525,12 +554,14 @@ impl Program {
                 block_index.insert(b.start, (fi as u32, bi as u32));
             }
         }
+        let table = build_branch_table(&functions);
         Program {
             base,
             image,
             functions,
             branch_index,
             block_index,
+            table,
             burst,
         }
     }
@@ -584,11 +615,16 @@ impl Program {
     pub fn line(&self, addr: u64) -> (u64, [u8; CACHE_LINE_BYTES]) {
         let line_base = addr & !(CACHE_LINE_BYTES as u64 - 1);
         let mut bytes = [0u8; CACHE_LINE_BYTES];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            let a = line_base + i as u64;
-            if self.contains(a) {
-                *b = self.image[(a - self.base) as usize];
-            }
+        // One bulk copy of the line's overlap with the image (hot path:
+        // the SBD fetches a line for every shadow-decoded block).
+        let image_end = self.base + self.image.len() as u64;
+        let lo = line_base.max(self.base);
+        let hi = (line_base + CACHE_LINE_BYTES as u64).min(image_end);
+        if lo < hi {
+            let dst = (lo - line_base) as usize;
+            let src = (lo - self.base) as usize;
+            let n = (hi - lo) as usize;
+            bytes[dst..dst + n].copy_from_slice(&self.image[src..src + n]);
         }
         (line_base, bytes)
     }
@@ -628,6 +664,13 @@ impl Program {
     #[must_use]
     pub fn locate_branch(&self, pc: u64) -> Option<(u32, u32)> {
         self.branch_index.get(&pc).copied()
+    }
+
+    /// The dense pc-sorted branch side table (built once at generation or
+    /// cache load; shared by every simulator over this program).
+    #[must_use]
+    pub fn branch_table(&self) -> &BranchTable {
+        &self.table
     }
 }
 

@@ -72,7 +72,7 @@ fn main() {
     let mut sbd = ShadowDecoder::default();
     let found = sbd.decode_tail(&tail_line, 0x2000, exit_offset);
     println!("\nTail decode from exit offset {exit_offset} (Fig. 10):");
-    for b in &found {
+    for b in found.iter() {
         println!("  {:?} at {:#x}, target {:?}", b.kind, b.pc, b.target);
     }
 }

@@ -4,16 +4,23 @@
 # SKIA_THREADS sets the sweep worker count (default: all cores).
 # SKIA_EMIT=1 additionally writes each experiment's merged telemetry snapshot
 # (counters, histograms, sampled event trace) to results/<exp>.telemetry.json.
+# SKIA_CACHE points the on-disk cache somewhere else (default
+# target/skia-cache; set to 0 to disable). The cache holds BOTH generated
+# program images AND recorded branch traces: the first run of this script
+# records one trace per (workload, step-count) and every later run — and
+# every config sweep within a run — replays it instead of re-walking.
 #
-# Experiment stderr (sweep timing lines, diagnostics) passes through to this
-# script's stderr; any failure aborts the whole script with the failing
-# experiment named.
+# Each experiment's stderr reports the two phases separately: a
+# "prepare: ..." line (trace record/load wall time) followed by a
+# "sweep: ..." line (pure simulation wall time). Any failure aborts the
+# whole script with the failing experiment named.
 set -e
 cd "$(dirname "$0")"
 STEPS="${SKIA_STEPS:-400000}"
 export SKIA_STEPS="$STEPS"
 echo "running all experiments at $STEPS steps per run"
 cargo build --release -p skia-experiments --bins
+mkdir -p results
 total_start=$(date +%s)
 for exp in table1 table2 fig01 fig06 fig13 fig15 fig16 fig18 fig14 ablations fig17 fig03; do
   echo "=== $exp ==="
