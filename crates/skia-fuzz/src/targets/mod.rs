@@ -1,0 +1,6 @@
+//! The concrete fuzz targets.
+
+pub mod decode;
+pub mod lockstep;
+pub mod sbb;
+pub mod shadow;

@@ -1,0 +1,126 @@
+//! Decoder regressions pinned from the `skia-fuzz` decode-target corpus.
+//!
+//! Each case is a corpus entry (or its interesting suffix) that exercised a
+//! decode path no hand-written test covered: stacked segment prefixes,
+//! prefix interactions with immediate width, and exact `Truncated(n)`
+//! accounting. The hex bodies are literal `decode` fuzz-target tokens, so
+//! any of them can be replayed with
+//! `SKIA_FUZZ_REPLAY='decode:<hex>' cargo test -p skia-fuzz --test fuzz`.
+
+use skia_isa::decode::{decode, DecodeError};
+use skia_isa::{BranchKind, InsnKind};
+
+fn hex(s: &str) -> Vec<u8> {
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap())
+        .collect()
+}
+
+/// Fig. 8's shadow-branch ambiguity at the byte level: `31 C3` is one
+/// 2-byte `xor ebx, eax`, but the same bytes re-decoded from offset 1 are a
+/// 1-byte `ret` — the whole reason shadow decoding needs Path Validation.
+#[test]
+fn fig8_bytes_decode_differently_by_start_offset() {
+    let bytes = hex("31c3");
+    let full = decode(&bytes).unwrap();
+    assert_eq!((full.len, full.kind), (2, InsnKind::Other));
+    let from1 = decode(&bytes[1..]).unwrap();
+    assert_eq!(from1.len, 1);
+    let InsnKind::Branch(b) = from1.kind else {
+        panic!("expected a branch, got {:?}", from1.kind);
+    };
+    assert_eq!(b.kind, BranchKind::Return);
+}
+
+/// Corpus `26653e5889480035`: three stacked segment prefixes (`es`, `gs`,
+/// `ds`) in front of `pop rax`. All legacy prefixes count toward the
+/// length; none change the operation class.
+#[test]
+fn stacked_segment_prefixes_extend_length_only() {
+    let d = decode(&hex("26653e5889480035")).unwrap();
+    assert_eq!((d.len, d.kind), (4, InsnKind::Other));
+}
+
+/// Corpus `676448b8000000000e00000099`: address-size + `fs` + REX.W in
+/// front of `B8` (`mov rax, imm`). REX.W widens the immediate to 64 bits
+/// and the `67` prefix does NOT shrink it (it only affects `moffs` forms),
+/// so the instruction spans 4 prefix/opcode bytes + 8 immediate bytes.
+#[test]
+fn rex_w_mov_imm_keeps_imm64_under_addr_size_prefix() {
+    let d = decode(&hex("676448b8000000000e00000099")).unwrap();
+    assert_eq!((d.len, d.kind), (12, InsnKind::Other));
+}
+
+/// Corpus `2e0f8dc0ffffff`: a `cs`-prefixed `jge rel32`. The prefix is
+/// counted in the length, and the relative displacement is applied from
+/// the *end* of the full (prefixed) instruction.
+#[test]
+fn segment_prefixed_jcc_rel32_targets_from_prefixed_end() {
+    let d = decode(&hex("2e0f8dc0ffffff")).unwrap();
+    assert_eq!(d.len, 7);
+    let InsnKind::Branch(b) = d.kind else {
+        panic!("expected a branch, got {:?}", d.kind);
+    };
+    assert_eq!((b.kind, b.rel), (BranchKind::DirectCond, Some(-64)));
+    assert_eq!(d.branch_target(0x1000), Some(0x1000 + 7 - 64));
+}
+
+/// Corpus `64c20800`: `fs`-prefixed `ret imm16` is still a return (the
+/// R-SBB cares about exactly this classification).
+#[test]
+fn prefixed_ret_imm16_stays_a_return() {
+    let d = decode(&hex("64c20800")).unwrap();
+    assert_eq!(d.len, 4);
+    let InsnKind::Branch(b) = d.kind else {
+        panic!("expected a branch, got {:?}", d.kind);
+    };
+    assert_eq!(b.kind, BranchKind::Return);
+}
+
+/// Corpus `bf87b8630000` re-decoded from offset 1 (the shadow-decode view):
+/// `87 b8 <disp32>` is `xchg [rax+disp32], edi` and needs 6 bytes, but only
+/// 5 are available — `Truncated` must report the exact available count,
+/// which is what lets the SBD distinguish "spills past the line" from
+/// "garbage".
+#[test]
+fn truncated_reports_exact_available_bytes() {
+    let bytes = hex("bf87b8630000");
+    assert_eq!(decode(&bytes[1..]), Err(DecodeError::Truncated(5)));
+    assert_eq!(decode(&bytes[2..]), Err(DecodeError::Truncated(4)));
+    // And every proper prefix of the *full* instruction truncates at its
+    // own length — the invariant the decode fuzz target checks for every
+    // input.
+    let full = decode(&bytes).unwrap();
+    assert_eq!(full.len, 5);
+    for n in 1..usize::from(full.len) {
+        assert_eq!(
+            decode(&bytes[..n]),
+            Err(DecodeError::Truncated(n)),
+            "prefix of {n} bytes"
+        );
+    }
+}
+
+/// Re-decoding any successful instruction from its reported length is
+/// stable: the corpus entries above all decode identically when the slice
+/// is cut to exactly `len` bytes (the fuzz idempotence invariant).
+#[test]
+fn corpus_entries_redecode_identically_at_reported_length() {
+    for hex_body in [
+        "26653e5889480035",
+        "676448b8000000000e00000099",
+        "2e0f8dc0ffffff",
+        "64c20800",
+        "40e665489400",
+        "6566484a2b448300c5",
+    ] {
+        let bytes = hex(hex_body);
+        let d = decode(&bytes).unwrap();
+        assert_eq!(
+            decode(&bytes[..usize::from(d.len)]),
+            Ok(d),
+            "re-decode of {hex_body} at len {}",
+            d.len
+        );
+    }
+}

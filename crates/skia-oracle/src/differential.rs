@@ -23,10 +23,11 @@ use std::rc::Rc;
 use skia_core::{SbbConfig, SkiaConfig};
 use skia_frontend::config::{BtbMode, FrontendConfig};
 use skia_frontend::{SimStats, Simulator};
-use skia_telemetry::TraceConfig;
+use skia_telemetry::{Snapshot, TraceConfig};
 use skia_uarch::btb::BtbConfig;
 use skia_workloads::{Layout, Program, ProgramSpec, TraceStep, Walker};
 
+use crate::ref_sbd::SbdFault;
 use crate::ref_sim::{RefBtbStore, RefSimulator};
 use crate::ref_skia::EventSink;
 
@@ -132,6 +133,37 @@ pub enum OracleFault {
     StaleBtbLru,
     /// SBB victim selection ignores the retired bit (§4.3 policy dropped).
     IgnoreRetiredBit,
+    /// Reference tail decode starts one byte past the exit boundary
+    /// (§3.3 broken; see [`crate::ref_sbd::SbdFault`]).
+    TailSkipFirstByte,
+    /// Reference head extraction walks from the last valid start instead of
+    /// the policy-chosen one (§3.2 selection broken).
+    HeadChoosesLastStart,
+}
+
+impl OracleFault {
+    /// Every knob, for exhaustive fault-injection sweeps.
+    pub const ALL: [OracleFault; 4] = [
+        OracleFault::StaleBtbLru,
+        OracleFault::IgnoreRetiredBit,
+        OracleFault::TailSkipFirstByte,
+        OracleFault::HeadChoosesLastStart,
+    ];
+
+    /// Stable kebab-case tag, used in fuzz replay tokens.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OracleFault::StaleBtbLru => "stale-btb-lru",
+            OracleFault::IgnoreRetiredBit => "ignore-retired-bit",
+            OracleFault::TailSkipFirstByte => "tail-skip-first-byte",
+            OracleFault::HeadChoosesLastStart => "head-chooses-last-start",
+        }
+    }
+
+    /// Parse a tag produced by [`OracleFault::tag`].
+    pub fn from_tag(s: &str) -> Option<OracleFault> {
+        OracleFault::ALL.into_iter().find(|f| f.tag() == s)
+    }
 }
 
 /// Summary of a divergence-free run.
@@ -147,6 +179,9 @@ pub struct CaseOutcome {
     /// Tail-region phantoms (should not occur: tail decode starts at a true
     /// instruction boundary).
     pub tail_phantoms: u64,
+    /// The production simulator's final telemetry snapshot. Registry-counter
+    /// values double as a cheap behavioural-coverage signal for fuzzing.
+    pub snapshot: Snapshot,
 }
 
 /// A lockstep divergence, with everything needed to replay it.
@@ -266,6 +301,16 @@ pub fn run_case(
                 skia.sbb.ignore_retired = true;
             }
         }
+        Some(OracleFault::TailSkipFirstByte) => {
+            if let Some(skia) = &mut oracle.bpu.skia {
+                skia.sbd_mut().fault = Some(SbdFault::TailSkipFirstByte);
+            }
+        }
+        Some(OracleFault::HeadChoosesLastStart) => {
+            if let Some(skia) = &mut oracle.bpu.skia {
+                skia.sbd_mut().fault = Some(SbdFault::HeadChoosesLastStart);
+            }
+        }
         None => {}
     }
 
@@ -348,5 +393,6 @@ pub fn run_case(
         events: real_events.len(),
         head_phantoms,
         tail_phantoms,
+        snapshot: sim.snapshot(),
     })
 }

@@ -44,7 +44,7 @@ pub mod ref_skia;
 pub mod ref_uarch;
 
 pub use differential::{run_case, CaseOutcome, DiffCase, DivergenceReport, OracleFault};
-pub use ref_sbd::RefShadowDecoder;
+pub use ref_sbd::{RefShadowDecoder, SbdFault};
 pub use ref_sim::{RefBpu, RefSimulator};
 pub use ref_skia::{RefSbb, RefSkia};
 pub use ref_uarch::{RefArray, RefBtb, RefIdealBtb, RefRas};

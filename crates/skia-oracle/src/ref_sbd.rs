@@ -11,12 +11,28 @@
 use skia_core::{HeadDecode, IndexPolicy, ShadowBranch, ShadowDecoderStats};
 use skia_isa::{decode, InsnKind};
 
+/// Deliberate reference-decoder bugs, settable through
+/// [`RefShadowDecoder::fault`]. Used by the fault-injection proofs: the
+/// differential harness and the fuzzer must *detect* each of these as a
+/// divergence from the production decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbdFault {
+    /// Tail decode starts one byte past the known boundary, as if the exit
+    /// offset were off by one (§3.3 broken).
+    TailSkipFirstByte,
+    /// Head extraction walks from the *last* valid start index instead of
+    /// the policy-chosen one (§3.2 Path Validation selection broken).
+    HeadChoosesLastStart,
+}
+
 /// The reference decoder: policy + bound + counters, nothing else.
 #[derive(Debug, Clone)]
 pub struct RefShadowDecoder {
     policy: IndexPolicy,
     max_valid_paths: usize,
     stats: ShadowDecoderStats,
+    /// Injected bug, `None` in every honest run.
+    pub fault: Option<SbdFault>,
 }
 
 impl RefShadowDecoder {
@@ -27,6 +43,7 @@ impl RefShadowDecoder {
             policy,
             max_valid_paths,
             stats: ShadowDecoderStats::default(),
+            fault: None,
         }
     }
 
@@ -47,6 +64,9 @@ impl RefShadowDecoder {
         self.stats.tail_regions += 1;
         let mut found = Vec::new();
         let mut off = exit_offset;
+        if self.fault == Some(SbdFault::TailSkipFirstByte) {
+            off += 1;
+        }
         while off < line.len() {
             match decode::decode(&line[off..]) {
                 Ok(d) => {
@@ -167,6 +187,10 @@ impl RefShadowDecoder {
             return HeadDecode::default();
         }
 
+        if self.fault == Some(SbdFault::HeadChoosesLastStart) {
+            let chosen = *valid_starts.last().expect("non-empty valid_starts");
+            return self.extract(line, line_base, entry, &lengths, valid_starts, chosen);
+        }
         let chosen = match self.policy {
             IndexPolicy::First => valid_starts[0],
             IndexPolicy::Zero => 0,
@@ -182,6 +206,19 @@ impl RefShadowDecoder {
             }
         };
 
+        self.extract(line, line_base, entry, &lengths, valid_starts, chosen)
+    }
+
+    /// Walk the chosen path and collect SBB-eligible branches.
+    fn extract(
+        &self,
+        line: &[u8],
+        line_base: u64,
+        entry: usize,
+        lengths: &[u8],
+        valid_starts: Vec<u8>,
+        chosen: u8,
+    ) -> HeadDecode {
         let mut branches = Vec::new();
         let mut pos = usize::from(chosen);
         while pos < entry {

@@ -310,6 +310,13 @@ impl RefSkia {
         &self.config
     }
 
+    /// Mutable access to the reference shadow decoder — the entry point for
+    /// fault-injection knobs ([`crate::ref_sbd::SbdFault`]) and for driving
+    /// the decoder directly in differential fuzz targets.
+    pub fn sbd_mut(&mut self) -> &mut RefShadowDecoder {
+        &mut self.sbd
+    }
+
     /// Advance the telemetry clock.
     pub fn set_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;

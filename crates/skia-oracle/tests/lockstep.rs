@@ -250,6 +250,49 @@ fn broken_oracle_ignored_retired_bit_is_caught() {
     assert!(report.to_string().contains("SKIA_DIFF_REPLAY"));
 }
 
+/// Same, for the decoder knobs added for the fuzzing subsystem: every
+/// `OracleFault` must be caught by the plain differential harness on at
+/// least one fixed case (the fuzzer additionally rediscovers them from
+/// scratch — see `skia-fuzz`).
+#[test]
+fn broken_oracle_decoder_faults_are_caught() {
+    let case = DiffCase {
+        spec_seed: 0xBAD,
+        functions: 90,
+        bolted: false,
+        trace_seed: 40,
+        steps: 900,
+        with_skia: true,
+        btb_sets: 4,
+        small_sbb: false,
+    };
+    run_case(&case, None).unwrap_or_else(|report| panic!("healthy oracle diverged: {report}"));
+    for fault in [
+        OracleFault::TailSkipFirstByte,
+        OracleFault::HeadChoosesLastStart,
+    ] {
+        let Err(report) = run_case(&case, Some(fault)) else {
+            panic!("{fault:?} must diverge");
+        };
+        let text = report.to_string();
+        assert!(report.step <= case.steps);
+        assert!(
+            text.contains("SKIA_DIFF_REPLAY") && text.contains(&case.encode()),
+            "report must carry the replay command:\n{text}"
+        );
+    }
+}
+
+/// The fault-tag codec round trips for every knob (fuzz replay tokens
+/// embed these tags).
+#[test]
+fn oracle_fault_tags_round_trip() {
+    for fault in OracleFault::ALL {
+        assert_eq!(OracleFault::from_tag(fault.tag()), Some(fault));
+    }
+    assert_eq!(OracleFault::from_tag("no-such-fault"), None);
+}
+
 /// Round-trip of the replay token codec.
 #[test]
 fn diff_case_codec_round_trips() {

@@ -49,6 +49,35 @@ impl Snapshot {
         self.histograms.get(name)
     }
 
+    /// Compress every non-zero counter into a behavioural-coverage feature:
+    /// FNV-1a of the counter name mixed with the value's magnitude bucket
+    /// (⌊log₂⌋, so a counter yields a new feature each time it crosses a
+    /// power of two rather than on every increment). Fuzzers use the set of
+    /// features seen across runs as a cheap "did this input exercise new
+    /// behaviour?" signal, exactly like edge-coverage maps but over the
+    /// registry the simulator already maintains. Deterministic across runs
+    /// and platforms.
+    #[must_use]
+    pub fn counter_features(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(name, &v)| {
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut mix = |b: u8| {
+                    hash ^= u64::from(b);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                };
+                for &b in name.as_bytes() {
+                    mix(b);
+                }
+                mix(0xFE); // separator: name bytes never collide with bucket
+                mix(v.ilog2() as u8);
+                hash
+            })
+            .collect()
+    }
+
     /// Fold another snapshot into this one: counters and histogram buckets
     /// add, gauges take the other's value when present, events concatenate.
     /// This is the aggregation path a sharded multi-registry design would
@@ -300,6 +329,35 @@ mod tests {
         let mut s = reg1.snapshot();
         s.merge(&reg2.snapshot());
         assert_eq!(s.histogram("h"), Some(&live.snapshot()));
+    }
+
+    #[test]
+    fn counter_features_bucket_by_magnitude() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("b").add(1);
+        reg.counter("zero"); // registered but never incremented
+        let s = reg.snapshot();
+        let f = s.counter_features();
+        assert_eq!(f.len(), 2, "zero counters contribute no feature");
+        assert_eq!(f, s.counter_features(), "deterministic");
+
+        // Same counter, same power-of-two bucket: same feature. New bucket:
+        // new feature. Different counter at the same value: different
+        // feature.
+        let mut reg2 = MetricRegistry::new();
+        reg2.counter("a").add(2); // still ⌊log₂⌋ = 1
+        reg2.counter("b").add(1);
+        assert_eq!(f, reg2.snapshot().counter_features());
+        let mut reg3 = MetricRegistry::new();
+        reg3.counter("a").add(4); // bucket 2 now
+        reg3.counter("b").add(1);
+        let f3 = reg3.snapshot().counter_features();
+        assert_ne!(f, f3);
+        assert_eq!(f[1], f3[1], "counter b unchanged");
+        let mut reg4 = MetricRegistry::new();
+        reg4.counter("c").add(3);
+        assert_ne!(f[0], reg4.snapshot().counter_features()[0]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use skia_isa::BranchKind;
 
@@ -50,7 +51,15 @@ const TRACE_MAGIC: &[u8; 8] = b"SKIATRAC";
 /// indexes exactly (asserted by the round-trip tests below).
 #[must_use]
 pub fn load_or_generate(spec: &ProgramSpec) -> Program {
-    let Some(dir) = cache_dir() else {
+    load_or_generate_in(cache_dir().as_deref(), spec)
+}
+
+/// [`load_or_generate`] against an explicit cache directory (`None` disables
+/// caching). Separated so tests can avoid the `SKIA_CACHE` env var, which is
+/// process-global.
+#[must_use]
+pub fn load_or_generate_in(dir: Option<&Path>, spec: &ProgramSpec) -> Program {
+    let Some(dir) = dir else {
         return Program::generate(spec);
     };
     let key = spec_key(spec);
@@ -59,7 +68,7 @@ pub fn load_or_generate(spec: &ProgramSpec) -> Program {
         return program;
     }
     let program = Program::generate(spec);
-    try_store(&dir, &path, spec, &program);
+    try_store(dir, &path, spec, &program);
     program
 }
 
@@ -104,7 +113,7 @@ pub fn load_or_record_trace(
 /// [`load_or_record_trace`] against an explicit cache directory (`None`
 /// disables caching). Separated so tests can avoid the `SKIA_CACHE` env
 /// var, which is process-global.
-fn load_or_record_trace_in(
+pub fn load_or_record_trace_in(
     dir: Option<&Path>,
     program: &Program,
     spec: &ProgramSpec,
@@ -141,6 +150,15 @@ fn load_or_record_trace_in(
 /// and a CWD-relative default would scatter `target/skia-cache/` dirs
 /// across the source tree.
 fn cache_dir() -> Option<PathBuf> {
+    cache_root()
+}
+
+/// The resolved on-disk cache root, honoring `SKIA_CACHE` exactly like the
+/// program and trace caches do (`None` when caching is disabled). Other
+/// subsystems that persist derived artifacts — e.g. the fuzz corpus — anchor
+/// their directories under this root so one env var governs all of them.
+#[must_use]
+pub fn cache_root() -> Option<PathBuf> {
     match std::env::var("SKIA_CACHE") {
         Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.is_empty() => None,
         Ok(v) => Some(PathBuf::from(v)),
@@ -274,6 +292,25 @@ fn kind_code(kind: BranchKind) -> u8 {
         .expect("every BranchKind is in ALL") as u8
 }
 
+/// Infallible little-endian read of up to 4 bytes. The deserializers feed
+/// these exact-size `chunks_exact` slices; a fold avoids the
+/// `try_into().unwrap()` idiom so no code path between `std::fs::read` and
+/// "cache miss" can panic, even on a slice-size bug.
+fn le_u32(chunk: &[u8]) -> u32 {
+    chunk
+        .iter()
+        .rev()
+        .fold(0u32, |acc, &b| (acc << 8) | u32::from(b))
+}
+
+/// Infallible little-endian read of up to 8 bytes; see [`le_u32`].
+fn le_u64(chunk: &[u8]) -> u64 {
+    chunk
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+}
+
 /// Cursor-based reader; every method returns `None` on truncation so a
 /// corrupt file degrades to a cache miss.
 struct Reader<'a> {
@@ -294,13 +331,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.take(4).map(le_u32)
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8).map(le_u64)
     }
 
     fn f64(&mut self) -> Option<f64> {
@@ -458,21 +493,13 @@ fn deserialize_trace(
     let stored_first = r.u64()?;
     let first_block_start = if keep == 0 { 0 } else { stored_first };
     let u64_col = |r: &mut Reader| -> Option<Vec<u64>> {
-        let col: Vec<u64> = r
-            .take(keep * 8)?
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let col: Vec<u64> = r.take(keep * 8)?.chunks_exact(8).map(le_u64).collect();
         r.take((n - keep) * 8)?;
         Some(col)
     };
     let branch_pc = u64_col(&mut r)?;
     let next_pc = u64_col(&mut r)?;
-    let insns: Vec<u32> = r
-        .take(keep * 4)?
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let insns: Vec<u32> = r.take(keep * 4)?.chunks_exact(4).map(le_u32).collect();
     r.take((n - keep) * 4)?;
     let kind = r.take(keep)?.to_vec();
     if kind
@@ -487,7 +514,7 @@ fn deserialize_trace(
     let mut taken: Vec<u64> = r
         .take(keep.div_ceil(64) * 8)?
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .map(le_u64)
         .collect();
     r.take((n.div_ceil(64) - keep.div_ceil(64)) * 8)?;
     if keep % 64 != 0 {
@@ -590,16 +617,12 @@ fn try_load_trace(
         Some(buf)
     };
     let n64 = n as u64;
-    let u64s = |b: Vec<u8>| -> Vec<u64> {
-        b.chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
-    };
+    let u64s = |b: Vec<u8>| -> Vec<u64> { b.chunks_exact(8).map(le_u64).collect() };
     let branch_pc = u64s(col(0, keep * 8)?);
     let next_pc = u64s(col(8 * n64, keep * 8)?);
     let insns: Vec<u32> = col(16 * n64, keep * 4)?
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .map(le_u32)
         .collect();
     let kind = col(20 * n64, keep)?;
     if kind
@@ -629,6 +652,20 @@ fn try_load_trace(
     })
 }
 
+/// Per-process sequence number folded into temp-file names. The process id
+/// alone is not enough: two *threads* of one process storing the same key
+/// would share a temp path and interleave writes, producing a torn entry
+/// that the rename then publishes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_suffix() -> String {
+    format!(
+        "{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 fn try_store_trace(dir: &Path, path: &Path, spec: &ProgramSpec, trace: &RecordedTrace) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
@@ -636,7 +673,7 @@ fn try_store_trace(dir: &Path, path: &Path, spec: &ProgramSpec, trace: &Recorded
     let tmp = dir.join(format!(
         ".tmp-trace-{:016x}-{}",
         trace_key(spec, trace.seed, trace.mean_trip),
-        std::process::id()
+        tmp_suffix()
     ));
     let ok = std::fs::File::create(&tmp)
         .and_then(|mut f| f.write_all(&serialize_trace(spec, trace.seed, trace.mean_trip, trace)))
@@ -652,13 +689,9 @@ fn try_store(dir: &Path, path: &Path, spec: &ProgramSpec, program: &Program) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    // Unique temp name per process so concurrent sweeps don't clobber each
-    // other mid-write; rename is atomic on POSIX.
-    let tmp = dir.join(format!(
-        ".tmp-{:016x}-{}",
-        spec_key(spec),
-        std::process::id()
-    ));
+    // Unique temp name per process *and thread of execution* so concurrent
+    // sweeps don't clobber each other mid-write; rename is atomic on POSIX.
+    let tmp = dir.join(format!(".tmp-{:016x}-{}", spec_key(spec), tmp_suffix()));
     let ok = std::fs::File::create(&tmp)
         .and_then(|mut f| f.write_all(&serialize(spec, program)))
         .is_ok();
@@ -672,6 +705,11 @@ fn try_store(dir: &Path, path: &Path, spec: &ProgramSpec, program: &Program) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that set `SKIA_CACHE`: the env var is
+    /// process-global, so the two tests below that scope it must never
+    /// overlap (every other cache test passes explicit paths).
+    static CACHE_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn test_spec() -> ProgramSpec {
         ProgramSpec {
@@ -752,10 +790,10 @@ mod tests {
 
     #[test]
     fn load_or_generate_survives_corruption_and_version_bumps() {
-        // This is the only test in the binary that reads SKIA_CACHE through
-        // `load_or_generate`; the env var is scoped to this test and
-        // restored at the end (every other cache test passes explicit
-        // paths), so parallel test threads never observe the override.
+        // The env var is scoped to this test (under CACHE_ENV_LOCK) and
+        // restored at the end, so parallel test threads never observe the
+        // override.
+        let _env = CACHE_ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let dir = std::env::temp_dir().join(format!("skia-cache-robust-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let prior = std::env::var("SKIA_CACHE").ok();
@@ -810,6 +848,75 @@ mod tests {
             Some(v) => std::env::set_var("SKIA_CACHE", v),
             None => std::env::remove_var("SKIA_CACHE"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An unwritable (or unreadable-for-new-entries) cache directory must
+    /// only cost time: `SKIA_CACHE` pointing at a read-only dir still
+    /// produces correct programs and traces, and a pre-populated entry in a
+    /// read-only dir is still served.
+    #[test]
+    #[cfg(unix)]
+    fn read_only_cache_dir_degrades_to_regeneration() {
+        use std::os::unix::fs::PermissionsExt as _;
+
+        let _env = CACHE_ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("skia-cache-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let spec = ProgramSpec {
+            seed: 0x0D1,
+            ..test_spec()
+        };
+        let reference = Program::generate(&spec);
+
+        // Pre-populate one entry while the dir is still writable, then make
+        // the dir read-only (r-x: readable, not writable).
+        let hot = ProgramSpec {
+            seed: 0x0D2,
+            ..test_spec()
+        };
+        let hot_path = dir.join(format!(
+            "program-{:016x}-v{FORMAT_VERSION}.bin",
+            spec_key(&hot)
+        ));
+        let hot_reference = Program::generate(&hot);
+        try_store(&dir, &hot_path, &hot, &hot_reference);
+        assert!(hot_path.exists());
+        std::fs::set_permissions(&dir, std::fs::Permissions::from_mode(0o555)).unwrap();
+
+        let prior = std::env::var("SKIA_CACHE").ok();
+        std::env::set_var("SKIA_CACHE", &dir);
+
+        // Miss in a read-only dir: generated, store fails silently.
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+        // Hit in a read-only dir: served from disk.
+        assert_programs_equal(&hot_reference, &load_or_generate(&hot));
+        // A nested dir that can't be created degrades the same way.
+        std::env::set_var("SKIA_CACHE", dir.join("nested"));
+        assert_programs_equal(&reference, &load_or_generate(&spec));
+
+        match prior {
+            Some(v) => std::env::set_var("SKIA_CACHE", v),
+            None => std::env::remove_var("SKIA_CACHE"),
+        }
+
+        // Traces degrade the same way (explicit-dir variant, same dir).
+        let program = Program::generate(&spec);
+        let (trace, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 3, 8, 120);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        assert_eq!(trace, RecordedTrace::record(&program, 3, 8, 120));
+
+        // No stray temp files may survive the failed stores.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+        std::fs::set_permissions(&dir, std::fs::Permissions::from_mode(0o755)).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,7 +36,10 @@ pub mod side_table;
 pub mod trace;
 pub mod walker;
 
-pub use cache::{load_or_generate, load_or_record_trace, TraceCacheOutcome};
+pub use cache::{
+    cache_root, load_or_generate, load_or_generate_in, load_or_record_trace,
+    load_or_record_trace_in, TraceCacheOutcome,
+};
 pub use profiles::{profile, profile_names, Profile};
 pub use program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
 pub use side_table::{BranchRecord, BranchTable};

@@ -1,0 +1,37 @@
+//! Workspace-level fuzzing smoke: a tiny budget of every `skia-fuzz` target
+//! plus one fault-rediscovery proof, so a plain `cargo test` at the root
+//! exercises the whole fuzz stack (the full budgeted runs live in
+//! `crates/skia-fuzz/tests/fuzz.rs` and the CI `fuzz-smoke` job).
+
+use skia_fuzz::{fuzz, replay, DecodeTarget, FuzzConfig, LockstepTarget, SbbTarget, ShadowTarget};
+use skia_oracle::OracleFault;
+
+#[test]
+fn every_target_survives_a_small_budget() {
+    let reports = [
+        fuzz(&mut DecodeTarget, &FuzzConfig::ephemeral(60)),
+        fuzz(&mut ShadowTarget::new(), &FuzzConfig::ephemeral(30)),
+        fuzz(&mut SbbTarget::new(), &FuzzConfig::ephemeral(80)),
+        fuzz(&mut LockstepTarget::new(), &FuzzConfig::ephemeral(2)),
+    ];
+    for report in reports {
+        assert!(
+            report.failure.is_none(),
+            "{} diverged:\n{}",
+            report.target,
+            report.failure.unwrap().report()
+        );
+        assert!(report.features > 0, "{}: no coverage", report.target);
+    }
+}
+
+#[test]
+fn planted_fault_is_found_and_replayable() {
+    let report = fuzz(
+        &mut LockstepTarget::with_fault(Some(OracleFault::StaleBtbLru)),
+        &FuzzConfig::ephemeral(10),
+    );
+    let failure = report.failure.expect("planted BTB fault must be found");
+    assert!(failure.token.starts_with("lockstep@stale-btb-lru:"));
+    assert!(replay(&failure.token).is_err(), "token must reproduce");
+}
