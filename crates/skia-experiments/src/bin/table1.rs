@@ -10,6 +10,9 @@ fn main() {
     // unknown ones) so all figure binaries share one CLI surface.
     let args = Args::parse();
     let mut em = args.emitter();
+    // The only phase here is rendering the table itself; the span keeps
+    // table1 from being the one experiment with an empty phase rollup.
+    let render_span = skia_telemetry::span("table.render");
     let c = FrontendConfig::alder_lake_like();
     let skia = SkiaConfig::default();
 
@@ -91,5 +94,6 @@ fn main() {
             c.exec_detect, c.decode_repair
         ),
     ]);
+    drop(render_span);
     em.finish();
 }

@@ -20,6 +20,8 @@ use skia_workloads::{
     load_or_record_trace, profile, Profile, Program, RecordedTrace, TraceCacheOutcome, Walker,
 };
 
+pub mod report;
+
 pub use skia_frontend::stats::geomean;
 pub use skia_runner::{thread_count, SweepReport};
 
@@ -221,6 +223,21 @@ static TRACE_STATS: TraceStats = TraceStats {
     prepare_micros: AtomicU64::new(0),
 };
 
+/// Process-wide simulate-phase totals, surfaced by [`JsonEmitter::finish`]
+/// as `sim.steps_total` / `sim.busy_seconds` / `sim.steps_per_sec` — the
+/// raw-throughput numbers the run manifest and `BENCH_sim.json` track.
+/// Busy time is summed per-job wall time (not elapsed), so it is
+/// thread-count-independent up to scheduling noise.
+struct SimTotals {
+    steps: AtomicU64,
+    busy_micros: AtomicU64,
+}
+
+static SIM_TOTALS: SimTotals = SimTotals {
+    steps: AtomicU64::new(0),
+    busy_micros: AtomicU64::new(0),
+};
+
 /// Process-wide [`RecordedTrace`] memo keyed by benchmark name, holding the
 /// longest trace requested so far for each workload (a longer request
 /// replaces the entry; shorter requests are served as exact prefixes by
@@ -299,7 +316,15 @@ impl Args {
     fn parse_impl(allow_names: bool) -> Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         match Self::parse_from(&argv, allow_names) {
-            Ok(args) => args,
+            Ok(args) => {
+                // Anchor the process time origin for `run.wall_seconds`,
+                // then arm the span layer: `--emit-json` turns profiling
+                // spans on by default, `SKIA_SPANS=1/0` forces either way.
+                // Spans never write to stdout, so tables stay byte-identical.
+                let _ = skia_telemetry::span::epoch();
+                skia_telemetry::init_spans_from_env(args.emit_json.is_some());
+                args
+            }
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
@@ -482,6 +507,7 @@ impl Sweep {
     /// bit-identical to the live walk, so results are unchanged.
     pub fn run(self, emitter: &mut JsonEmitter) -> Vec<SimStats> {
         // -- prepare phase ---------------------------------------------------
+        let prepare_span = skia_telemetry::span("sweep.prepare");
         let t0 = Instant::now();
         let mut uniq: Vec<(String, usize)> = Vec::new();
         let mut index: HashMap<String, usize> = HashMap::new();
@@ -497,6 +523,7 @@ impl Sweep {
         }
         let traces: Vec<Arc<RecordedTrace>> =
             skia_runner::run_indexed(&uniq, self.threads, |_, (name, steps)| {
+                let _g = skia_telemetry::span_with(|| format!("prepare.trace:{name}"));
                 recorded_trace(name, *steps)
             });
         let reuses = (self.jobs.len() - uniq.len()) as u64;
@@ -517,9 +544,13 @@ impl Sweep {
             );
         }
 
+        drop(prepare_span);
+
         // -- simulate phase --------------------------------------------------
+        let _simulate_span = skia_telemetry::span("sweep.simulate");
         let tc = emitter.trace_config();
         let (timed, report) = skia_runner::run_timed(&self.jobs, self.threads, |_, job| {
+            let _g = skia_telemetry::span_with(|| format!("sim.job:{}", job.bench));
             let w = workload(&job.bench);
             let trace = &traces[index[job.bench.as_str()]];
             match tc {
@@ -541,6 +572,14 @@ impl Sweep {
                 );
             }
         }
+        SIM_TOTALS.steps.fetch_add(
+            self.jobs.iter().map(|j| j.steps as u64).sum::<u64>(),
+            Ordering::Relaxed,
+        );
+        SIM_TOTALS.busy_micros.fetch_add(
+            timed.iter().map(|t| t.wall.as_micros() as u64).sum::<u64>(),
+            Ordering::Relaxed,
+        );
         let mut out = Vec::with_capacity(timed.len());
         for t in timed {
             let (stats, snapshot) = t.value;
@@ -646,6 +685,39 @@ impl JsonEmitter {
         self.merged.gauges.insert(
             "trace.prepare_seconds".into(),
             TRACE_STATS.prepare_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        );
+        // Simulate-phase throughput: raw replay-simulate steps per second of
+        // summed per-job busy time (thread-count-independent).
+        let sim_steps = SIM_TOTALS.steps.load(Ordering::Relaxed);
+        let busy = SIM_TOTALS.busy_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        c.insert("sim.steps_total".into(), sim_steps);
+        self.merged.gauges.insert("sim.busy_seconds".into(), busy);
+        if busy > 0.0 {
+            self.merged
+                .gauges
+                .insert("sim.steps_per_sec".into(), sim_steps as f64 / busy);
+        }
+        // Cache I/O totals: bytes actually moved and per-column seeks issued
+        // by the program/trace caches (skia-workloads process-wide meters).
+        let io = skia_workloads::trace_cache_io();
+        c.insert("trace_cache.bytes_read".into(), io.bytes_read);
+        c.insert("trace_cache.bytes_written".into(), io.bytes_written);
+        c.insert("trace_cache.seeks".into(), io.seeks);
+        c.insert("trace_cache.full_loads".into(), io.full_loads);
+        c.insert("trace_cache.prefix_loads".into(), io.prefix_loads);
+        // Profiling spans: drain the process-wide collector into the merged
+        // snapshot (spans are per-process, not per-run, so they ride on the
+        // merged snapshot rather than individual run snapshots).
+        let spans = skia_telemetry::drain_spans();
+        c.insert("spans.recorded".into(), spans.len() as u64);
+        c.insert(
+            "spans.dropped".into(),
+            skia_telemetry::span::spans_dropped(),
+        );
+        self.merged.spans.extend(spans);
+        self.merged.gauges.insert(
+            "run.wall_seconds".into(),
+            skia_telemetry::span::epoch().elapsed().as_secs_f64(),
         );
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {

@@ -1,0 +1,41 @@
+//! Span profiling must be observationally free: the paper tables an
+//! experiment binary prints to stdout are byte-identical whether spans are
+//! enabled or disabled, serially or on a thread pool. Spans write only to
+//! the in-process collector (drained into `--emit-json` files), never to
+//! stdout.
+
+use std::process::Command;
+
+/// Run the fig01 binary with the given env and return its stdout bytes.
+fn fig01_stdout(spans: &str, threads: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01"))
+        .args(["--bench", "tpcc"])
+        .env("SKIA_STEPS", "2000")
+        .env("SKIA_SPANS", spans)
+        .env("SKIA_THREADS", threads)
+        // Isolate from any ambient cache so every variant does identical
+        // work (first variant records, later ones disk-hit — outcome
+        // differences only touch stderr/telemetry, but keep it hermetic).
+        .env("SKIA_CACHE", "0")
+        .output()
+        .expect("fig01 runs");
+    assert!(
+        out.status.success(),
+        "fig01 failed (SKIA_SPANS={spans}, SKIA_THREADS={threads}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "fig01 prints its table");
+    out.stdout
+}
+
+#[test]
+fn stdout_is_byte_identical_with_spans_on_or_off() {
+    let base = fig01_stdout("0", "1");
+    for (spans, threads) in [("1", "1"), ("0", "4"), ("1", "4")] {
+        let variant = fig01_stdout(spans, threads);
+        assert_eq!(
+            base, variant,
+            "stdout diverged with SKIA_SPANS={spans}, SKIA_THREADS={threads}"
+        );
+    }
+}

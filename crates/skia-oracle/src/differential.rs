@@ -279,6 +279,7 @@ pub fn run_case(
     case: &DiffCase,
     fault: Option<OracleFault>,
 ) -> Result<CaseOutcome, Box<DivergenceReport>> {
+    let _case_span = skia_telemetry::span("oracle.case");
     let program = Program::generate(&case.spec());
     let config = case.config();
 

@@ -397,12 +397,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
+                    // Bulk-consume the run up to the next quote or escape:
+                    // one UTF-8 validation per run, not per character (a
+                    // per-char from_utf8 over the whole remainder made
+                    // parsing quadratic — minutes on a 2 MB snapshot). The
+                    // run boundary is an ASCII byte, so it is always a char
+                    // boundary.
                     let rest = &self.bytes[self.pos..];
-                    let s8 = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s8.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let chunk = std::str::from_utf8(&rest[..run]).map_err(|e| e.to_string())?;
+                    s.push_str(chunk);
+                    self.pos += run;
                 }
             }
         }

@@ -16,6 +16,13 @@
 //!   `trace_event` JSON or JSONL.
 //! * [`Snapshot`] — a serde-serialized materialization of the whole
 //!   registry, written by the experiment binaries' `--emit-json`.
+//! * [`SpanGuard`] — RAII wall-clock span profiling ([`span`] module): a
+//!   process-wide, thread-aware collector of hierarchical begin/end
+//!   records bracketing pipeline phases (sweep prepare/simulate, per-job
+//!   simulation, trace-cache I/O, oracle cases, fuzz rounds). Off by
+//!   default; the disabled path is a single atomic load. Records export as
+//!   Chrome `X` events and aggregate into per-phase rollups for run
+//!   manifests.
 //!
 //! The simulator is single-threaded by design, so handles are `Rc<Cell<_>>`
 //! — the cheapest shared-mutability primitive Rust offers. Nothing here is
@@ -51,9 +58,14 @@ pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod snapshot;
+pub mod span;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, MetricRegistry};
 pub use snapshot::Snapshot;
-pub use trace::{Event, EventKind, EventTrace, TraceConfig};
+pub use span::{
+    drain_spans, init_spans_from_env, set_spans_enabled, span, span_with, spans_enabled, SpanGuard,
+    SpanRecord, SpanRollup,
+};
+pub use trace::{to_chrome_trace, to_chrome_trace_full, Event, EventKind, EventTrace, TraceConfig};

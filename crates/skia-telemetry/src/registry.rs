@@ -160,6 +160,9 @@ impl MetricRegistry {
             events,
             events_seen,
             events_dropped,
+            // Spans are process-wide, not per-registry: the emitter drains
+            // them into its merged snapshot at finish time.
+            spans: Vec::new(),
         }
     }
 }

@@ -6,6 +6,7 @@ use serde::{Serialize, SerializeStruct, Serializer};
 
 use crate::histogram::HistogramSnapshot;
 use crate::json::{self, JsonValue};
+use crate::span::{self, SpanRecord, SpanRollup};
 use crate::trace::{Event, EventKind};
 
 /// Everything a registry knew at one instant: counters, gauges, histogram
@@ -28,6 +29,10 @@ pub struct Snapshot {
     pub events_seen: u64,
     /// Sampled events displaced by the ring bound.
     pub events_dropped: u64,
+    /// Completed profiling spans (empty unless the emitter drained the
+    /// process-wide span collector into this snapshot; see
+    /// [`crate::span`]).
+    pub spans: Vec<SpanRecord>,
 }
 
 impl Snapshot {
@@ -47,6 +52,13 @@ impl Snapshot {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// Aggregate the resident profiling spans per name (count/total/min/
+    /// max) — the per-phase breakdown run manifests are built from.
+    #[must_use]
+    pub fn span_rollup(&self) -> BTreeMap<String, SpanRollup> {
+        span::rollup(&self.spans)
     }
 
     /// Compress every non-zero counter into a behavioural-coverage feature:
@@ -105,6 +117,7 @@ impl Snapshot {
         self.events.extend(other.events.iter().copied());
         self.events_seen += other.events_seen;
         self.events_dropped += other.events_dropped;
+        self.spans.extend(other.spans.iter().cloned());
     }
 
     /// Serialize to a compact JSON string.
@@ -141,6 +154,11 @@ impl Snapshot {
                 snap.events.push(parse_event(i, e)?);
             }
         }
+        if let Some(spans) = obj.get("spans").and_then(JsonValue::as_array) {
+            for (i, s) in spans.iter().enumerate() {
+                snap.spans.push(parse_span(i, s)?);
+            }
+        }
         snap.events_seen = obj
             .get("events_seen")
             .and_then(JsonValue::as_u64)
@@ -175,6 +193,25 @@ fn parse_histogram(name: &str, v: &JsonValue) -> Result<HistogramSnapshot, Strin
     h.min = field("min");
     h.max = field("max");
     Ok(h)
+}
+
+fn parse_span(i: usize, v: &JsonValue) -> Result<SpanRecord, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("span {i} not an object"))?;
+    let name = obj
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("span {i} missing name"))?
+        .to_string();
+    let field = |k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    Ok(SpanRecord {
+        name,
+        thread: field("thread"),
+        depth: field("depth") as u32,
+        start_ns: field("start_ns"),
+        dur_ns: field("dur_ns"),
+    })
 }
 
 fn parse_event(i: usize, v: &JsonValue) -> Result<Event, String> {
@@ -219,15 +256,28 @@ impl Serialize for Event {
     }
 }
 
+impl Serialize for SpanRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SpanRecord", 5)?;
+        s.serialize_field("name", &self.name)?;
+        s.serialize_field("thread", &self.thread)?;
+        s.serialize_field("depth", &self.depth)?;
+        s.serialize_field("start_ns", &self.start_ns)?;
+        s.serialize_field("dur_ns", &self.dur_ns)?;
+        s.end()
+    }
+}
+
 impl Serialize for Snapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("Snapshot", 6)?;
+        let mut s = serializer.serialize_struct("Snapshot", 7)?;
         s.serialize_field("counters", &self.counters)?;
         s.serialize_field("gauges", &self.gauges)?;
         s.serialize_field("histograms", &self.histograms)?;
         s.serialize_field("events", &self.events)?;
         s.serialize_field("events_seen", &self.events_seen)?;
         s.serialize_field("events_dropped", &self.events_dropped)?;
+        s.serialize_field("spans", &self.spans)?;
         s.end()
     }
 }
@@ -251,7 +301,31 @@ mod tests {
         let t = reg.enable_trace(TraceConfig::default());
         t.record(10, EventKind::BtbMiss, 0x4000, 1);
         t.record(12, EventKind::SbbRescue, 0x4008, 0);
-        reg.snapshot()
+        let mut snap = reg.snapshot();
+        snap.spans = vec![
+            SpanRecord {
+                name: "sweep.prepare".into(),
+                thread: 0,
+                depth: 0,
+                start_ns: 1_000,
+                dur_ns: 50_000,
+            },
+            SpanRecord {
+                name: "sim.job:tpcc".into(),
+                thread: 1,
+                depth: 1,
+                start_ns: 60_000,
+                dur_ns: 30_000,
+            },
+            SpanRecord {
+                name: "sim.job:tpcc".into(),
+                thread: 2,
+                depth: 1,
+                start_ns: 61_000,
+                dur_ns: 10_000,
+            },
+        ];
+        snap
     }
 
     #[test]
@@ -268,6 +342,9 @@ mod tests {
         assert!(json.contains("\"counters\":{\"blocks\":3,\"btb.misses\":17}"));
         assert!(json.contains("\"kind\":\"sbb_rescue\""));
         assert!(json.contains("\"events_seen\":2"));
+        assert!(json.contains(
+            "{\"name\":\"sweep.prepare\",\"thread\":0,\"depth\":0,\"start_ns\":1000,\"dur_ns\":50000}"
+        ));
         let v = JsonValue::parse(&json).unwrap();
         assert_eq!(
             v.get("histograms")
@@ -300,11 +377,26 @@ mod tests {
         assert_eq!(h.max, 31);
         assert_eq!(a.events.len(), 4);
         assert_eq!(a.events_seen, 4);
+        assert_eq!(a.spans.len(), 6, "spans concatenate");
 
         // Merging into an empty snapshot reproduces the source.
         let mut empty = Snapshot::default();
         empty.merge(&b);
         assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn span_rollup_aggregates_resident_spans() {
+        let snap = sample_snapshot();
+        let roll = snap.span_rollup();
+        assert_eq!(roll.len(), 2);
+        assert_eq!(roll["sweep.prepare"].count, 1);
+        let jobs = &roll["sim.job:tpcc"];
+        assert_eq!(jobs.count, 2);
+        assert_eq!(jobs.total_ns, 40_000);
+        assert_eq!(jobs.min_ns, 10_000);
+        assert_eq!(jobs.max_ns, 30_000);
+        assert!(Snapshot::default().span_rollup().is_empty());
     }
 
     #[test]
@@ -367,6 +459,35 @@ mod tests {
         assert!(
             Snapshot::from_json_str("{\"events\":[{\"kind\":\"martian\"}]}").is_err(),
             "unknown event kinds must not parse silently"
+        );
+        assert!(
+            Snapshot::from_json_str("{\"spans\":[{\"thread\":1}]}").is_err(),
+            "a span without a name must not parse silently"
+        );
+        assert!(Snapshot::from_json_str("{\"spans\":[7]}").is_err());
+    }
+
+    /// The feature hashes are part of the fuzz corpus' on-disk contract: a
+    /// silent change to the FNV mixing (or to `ilog2` bucketing) would
+    /// orphan every persisted corpus entry's coverage. Pin exact values.
+    #[test]
+    fn counter_features_are_pinned() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("b").add(1);
+        reg.counter("btb.misses").add(17);
+        reg.counter("sim.steps_total").add(400_000);
+        let f = reg.snapshot().counter_features();
+        // BTreeMap order: a, b, btb.misses, sim.steps_total.
+        assert_eq!(
+            f,
+            vec![
+                0xe57a_9c19_03db_f5f5,
+                0xfed3_ec19_1209_5893,
+                0x965a_0a85_571e_b719,
+                0x430c_7f35_5cba_f2b0,
+            ],
+            "counter_features changed — this breaks persisted fuzz-corpus coverage"
         );
     }
 }

@@ -191,15 +191,60 @@ impl EventTrace {
 /// or Perfetto). Cycles are mapped 1:1 onto microseconds.
 #[must_use]
 pub fn to_chrome_trace(events: &[Event]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 64);
+    to_chrome_trace_full(events, &[], "")
+}
+
+/// Render instant events **and** profiling spans as one Chrome
+/// `trace_event` document: spans become `X` (complete) events laid out per
+/// thread with real wall-clock timestamps (ns mapped onto the trace's µs
+/// axis), instant events keep their cycle timestamps on `pid` 2 so the two
+/// time domains never share a row. `process_name` labels the span process
+/// (e.g. the experiment binary) via a metadata event when non-empty.
+#[must_use]
+pub fn to_chrome_trace_full(
+    events: &[Event],
+    spans: &[crate::span::SpanRecord],
+    process_name: &str,
+) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + spans.len() * 128 + 128);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
             out.push(',');
         }
+        first = false;
+    };
+    if !process_name.is_empty() {
+        sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":1,\"s\":\"t\",\
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"{process_name}\"}}}}"
+        );
+    }
+    for s in spans {
+        sep(&mut out);
+        // Chrome's ts/dur unit is microseconds; keep ns precision as a
+        // fraction (trailing .000 elided when exact).
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
+            s.name,
+            s.start_ns / 1000,
+            s.start_ns % 1000,
+            s.dur_ns / 1000,
+            s.dur_ns % 1000,
+            s.thread,
+            s.depth
+        );
+    }
+    for e in events {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":2,\"tid\":1,\"s\":\"t\",\
              \"args\":{{\"pc\":\"{:#x}\",\"arg\":{}}}}}",
             e.kind.name(),
             e.cycle,
@@ -273,6 +318,42 @@ mod tests {
         let jsonl = to_jsonl(&t.events());
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\"kind\":\"sbb_rescue\""));
+    }
+
+    #[test]
+    fn chrome_trace_full_renders_spans_as_complete_events() {
+        let spans = vec![
+            crate::span::SpanRecord {
+                name: "sweep.prepare".into(),
+                thread: 0,
+                depth: 0,
+                start_ns: 1_500,
+                dur_ns: 2_000_123,
+            },
+            crate::span::SpanRecord {
+                name: "sim.job:tpcc".into(),
+                thread: 3,
+                depth: 1,
+                start_ns: 5_000,
+                dur_ns: 250,
+            },
+        ];
+        let t = EventTrace::new(TraceConfig::default());
+        t.record(9, EventKind::BtbMiss, 0x80, 0);
+        let doc = to_chrome_trace_full(&t.events(), &spans, "fig01");
+        assert!(doc.contains("\"name\":\"process_name\""));
+        assert!(doc.contains("\"args\":{\"name\":\"fig01\"}"));
+        assert!(
+            doc.contains("\"name\":\"sweep.prepare\",\"ph\":\"X\",\"ts\":1.500,\"dur\":2000.123")
+        );
+        assert!(doc.contains("\"tid\":3"), "span thread becomes the tid");
+        assert!(doc.contains("\"depth\":1"));
+        assert!(doc.contains("\"name\":\"btb_miss\""), "instant events kept");
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        // Spans-only export (no process name) is also valid.
+        let bare = to_chrome_trace_full(&[], &spans, "");
+        assert!(!bare.contains("process_name"));
+        assert!(bare.starts_with("{\"displayTimeUnit\""));
     }
 
     #[test]

@@ -32,6 +32,51 @@ use skia_isa::BranchKind;
 use crate::program::{BasicBlock, BranchMeta, Function, Layout, Program, ProgramSpec};
 use crate::trace::RecordedTrace;
 
+/// Process-wide cache I/O totals, accumulated across every program and
+/// trace cache operation since process start. Atomics (not registry
+/// handles) because the cache is called from arbitrary worker threads and
+/// long before any experiment registry exists; the JSON emitter surfaces
+/// the totals as `trace_cache.*` counters at finish time.
+static IO_BYTES_READ: AtomicU64 = AtomicU64::new(0);
+static IO_BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+static IO_SEEKS: AtomicU64 = AtomicU64::new(0);
+static IO_FULL_LOADS: AtomicU64 = AtomicU64::new(0);
+static IO_PREFIX_LOADS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide cache I/O totals.
+///
+/// `seeks` counts per-column positioned reads: a prefix-bounded trace load
+/// reads exactly one seeked range per stored column (6 columns), so
+/// `seeks == 6 * prefix_loads` when nothing else seeks. `bytes_read` /
+/// `bytes_written` count payload bytes actually moved (headers included),
+/// not file sizes — a prefix load of 5% of a file adds ~5% of its bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheIo {
+    /// Bytes read from cache files (program + trace, headers included).
+    pub bytes_read: u64,
+    /// Bytes written to cache files (program + trace).
+    pub bytes_written: u64,
+    /// Positioned per-column reads issued by prefix-bounded trace loads.
+    pub seeks: u64,
+    /// Trace loads that read the whole file in one pass.
+    pub full_loads: u64,
+    /// Trace loads that materialized a prefix via column seeks.
+    pub prefix_loads: u64,
+}
+
+/// Read the process-wide cache I/O totals (monotonic since process start;
+/// diff two snapshots to meter a region).
+#[must_use]
+pub fn trace_cache_io() -> TraceCacheIo {
+    TraceCacheIo {
+        bytes_read: IO_BYTES_READ.load(Ordering::Relaxed),
+        bytes_written: IO_BYTES_WRITTEN.load(Ordering::Relaxed),
+        seeks: IO_SEEKS.load(Ordering::Relaxed),
+        full_loads: IO_FULL_LOADS.load(Ordering::Relaxed),
+        prefix_loads: IO_PREFIX_LOADS.load(Ordering::Relaxed),
+    }
+}
+
 /// Bumped whenever the on-disk layout or the generator's output changes;
 /// mismatched files are regenerated.
 const FORMAT_VERSION: u32 = 1;
@@ -60,13 +105,18 @@ pub fn load_or_generate(spec: &ProgramSpec) -> Program {
 #[must_use]
 pub fn load_or_generate_in(dir: Option<&Path>, spec: &ProgramSpec) -> Program {
     let Some(dir) = dir else {
+        let _g = skia_telemetry::span("program_cache.generate");
         return Program::generate(spec);
     };
     let key = spec_key(spec);
     let path = dir.join(format!("program-{key:016x}-v{FORMAT_VERSION}.bin"));
-    if let Some(program) = try_load(&path, spec) {
-        return program;
+    {
+        let _g = skia_telemetry::span("program_cache.load");
+        if let Some(program) = try_load(&path, spec) {
+            return program;
+        }
     }
+    let _g = skia_telemetry::span("program_cache.generate");
     let program = Program::generate(spec);
     try_store(dir, &path, spec, &program);
     program
@@ -122,6 +172,7 @@ pub fn load_or_record_trace_in(
     steps: usize,
 ) -> (RecordedTrace, TraceCacheOutcome) {
     let Some(dir) = dir else {
+        let _g = skia_telemetry::span("trace_cache.record");
         return (
             RecordedTrace::record(program, seed, mean_trip, steps),
             TraceCacheOutcome::Recorded,
@@ -132,11 +183,15 @@ pub fn load_or_record_trace_in(
     // A prefix-bounded load materializes at most `steps` steps; it comes
     // back shorter only when the stored recording itself is shorter, in
     // which case the walk is re-recorded at the longer length below.
-    if let Some(stored) = try_load_trace(&path, spec, seed, mean_trip, Some(steps)) {
-        if stored.len() >= steps {
-            return (stored, TraceCacheOutcome::DiskHit);
+    {
+        let _g = skia_telemetry::span("trace_cache.load");
+        if let Some(stored) = try_load_trace(&path, spec, seed, mean_trip, Some(steps)) {
+            if stored.len() >= steps {
+                return (stored, TraceCacheOutcome::DiskHit);
+            }
         }
     }
+    let _g = skia_telemetry::span("trace_cache.record");
     let trace = RecordedTrace::record(program, seed, mean_trip, steps);
     try_store_trace(dir, &path, spec, &trace);
     (trace, TraceCacheOutcome::Recorded)
@@ -549,6 +604,7 @@ fn deserialize_trace(
 
 fn try_load(path: &Path, spec: &ProgramSpec) -> Option<Program> {
     let bytes = std::fs::read(path).ok()?;
+    IO_BYTES_READ.fetch_add(bytes.len() as u64, Ordering::Relaxed);
     deserialize(&bytes, spec)
 }
 
@@ -580,6 +636,7 @@ fn try_load_trace(
     }
     let mut head = vec![0u8; header_len];
     f.read_exact(&mut head).ok()?;
+    IO_BYTES_READ.fetch_add(header_len as u64, Ordering::Relaxed);
     let mut r = Reader { buf: &head, pos: 0 };
     if r.take(TRACE_MAGIC.len())? != TRACE_MAGIC || r.u32()? != TRACE_FORMAT_VERSION {
         return None;
@@ -602,10 +659,14 @@ fn try_load_trace(
         // Full load: one contiguous read of the remainder.
         let mut rest = vec![0u8; file_len as usize - header_len];
         f.read_exact(&mut rest).ok()?;
+        IO_BYTES_READ.fetch_add(rest.len() as u64, Ordering::Relaxed);
+        IO_FULL_LOADS.fetch_add(1, Ordering::Relaxed);
         let mut whole = head;
         whole.extend_from_slice(&rest);
         return deserialize_trace(&whole, spec, seed, mean_trip, want);
     }
+    let _g = skia_telemetry::span("trace_cache.seek_prefix");
+    IO_PREFIX_LOADS.fetch_add(1, Ordering::Relaxed);
     let stored_first = r.u64()?;
     let first_block_start = if keep == 0 { 0 } else { stored_first };
     // Column prefixes via seeks. Offsets are relative to the column area.
@@ -614,6 +675,8 @@ fn try_load_trace(
         f.seek(SeekFrom::Start(base + offset)).ok()?;
         let mut buf = vec![0u8; len];
         f.read_exact(&mut buf).ok()?;
+        IO_SEEKS.fetch_add(1, Ordering::Relaxed);
+        IO_BYTES_READ.fetch_add(len as u64, Ordering::Relaxed);
         Some(buf)
     };
     let n64 = n as u64;
@@ -675,10 +738,12 @@ fn try_store_trace(dir: &Path, path: &Path, spec: &ProgramSpec, trace: &Recorded
         trace_key(spec, trace.seed, trace.mean_trip),
         tmp_suffix()
     ));
+    let bytes = serialize_trace(spec, trace.seed, trace.mean_trip, trace);
     let ok = std::fs::File::create(&tmp)
-        .and_then(|mut f| f.write_all(&serialize_trace(spec, trace.seed, trace.mean_trip, trace)))
+        .and_then(|mut f| f.write_all(&bytes))
         .is_ok();
     if ok {
+        IO_BYTES_WRITTEN.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let _ = std::fs::rename(&tmp, path);
     } else {
         let _ = std::fs::remove_file(&tmp);
@@ -692,10 +757,12 @@ fn try_store(dir: &Path, path: &Path, spec: &ProgramSpec, program: &Program) {
     // Unique temp name per process *and thread of execution* so concurrent
     // sweeps don't clobber each other mid-write; rename is atomic on POSIX.
     let tmp = dir.join(format!(".tmp-{:016x}-{}", spec_key(spec), tmp_suffix()));
+    let bytes = serialize(spec, program);
     let ok = std::fs::File::create(&tmp)
-        .and_then(|mut f| f.write_all(&serialize(spec, program)))
+        .and_then(|mut f| f.write_all(&bytes))
         .is_ok();
     if ok {
+        IO_BYTES_WRITTEN.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let _ = std::fs::rename(&tmp, path);
     } else {
         let _ = std::fs::remove_file(&tmp);
@@ -1072,6 +1139,63 @@ mod tests {
         let (t, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 9, 6, 500);
         assert_eq!(outcome, TraceCacheOutcome::Recorded);
         assert_eq!(t, reference);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The I/O totals are process-wide and other tests run concurrently, so
+    /// every assertion here is a *lower bound on the delta* — concurrent
+    /// cache traffic can only add to the counters, never subtract.
+    #[test]
+    fn io_counters_meter_bytes_and_seeks() {
+        let dir = std::env::temp_dir().join(format!("skia-cache-io-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ProgramSpec {
+            seed: 0x10C0,
+            ..test_spec()
+        };
+        let program = Program::generate(&spec);
+
+        // The stored trace is deliberately large (~1.4 MB) so the prefix
+        // upper-bound below has orders-of-magnitude headroom over any bytes
+        // concurrent tests might add between the two snapshots.
+        const STEPS: usize = 65_536;
+
+        // Store: bytes_written grows by at least the serialized trace size.
+        let before = trace_cache_io();
+        let (trace, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 11, 8, STEPS);
+        assert_eq!(outcome, TraceCacheOutcome::Recorded);
+        let stored_bytes = serialize_trace(&spec, 11, 8, &trace).len() as u64;
+        let after_store = trace_cache_io();
+        assert!(
+            after_store.bytes_written >= before.bytes_written + stored_bytes,
+            "store must meter its bytes: {before:?} -> {after_store:?}"
+        );
+
+        // Full-length hit: one full load reading the whole file.
+        let (_, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 11, 8, STEPS);
+        assert_eq!(outcome, TraceCacheOutcome::DiskHit);
+        let after_full = trace_cache_io();
+        assert!(after_full.full_loads > after_store.full_loads);
+        assert!(
+            after_full.bytes_read >= after_store.bytes_read + stored_bytes,
+            "a full hit reads the whole file"
+        );
+
+        // Prefix hit (~1.5% of the file): one prefix load, 6 column seeks,
+        // and far fewer bytes than the full file.
+        let (short, outcome) = load_or_record_trace_in(Some(&dir), &program, &spec, 11, 8, 1024);
+        assert_eq!(outcome, TraceCacheOutcome::DiskHit);
+        assert_eq!(short.len(), 1024);
+        let after_prefix = trace_cache_io();
+        assert!(after_prefix.prefix_loads > after_full.prefix_loads);
+        assert!(after_prefix.seeks >= after_full.seeks + 6, "6 column seeks");
+        let prefix_bytes = after_prefix.bytes_read - after_full.bytes_read;
+        assert!(
+            prefix_bytes < stored_bytes / 2,
+            "a ~1.5% prefix load must not read most of the file \
+             ({prefix_bytes} of {stored_bytes} bytes)"
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }

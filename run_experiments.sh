@@ -3,7 +3,14 @@
 # SKIA_STEPS scales trace length (default 400000 ~ 2.8M instructions per run).
 # SKIA_THREADS sets the sweep worker count (default: all cores).
 # SKIA_EMIT=1 additionally writes each experiment's merged telemetry snapshot
-# (counters, histograms, sampled event trace) to results/<exp>.telemetry.json.
+# (counters, histograms, sampled event trace, profiling spans) to
+# results/<exp>.telemetry.json, then aggregates all snapshots into
+# results/manifest.json + results/manifest.md (per-experiment wall time,
+# steps/sec, trace-cache traffic, per-phase span rollups) and a merged
+# Chrome trace at results/trace.json via skia-report. Compare two runs with
+# `skia-report diff <old-manifest> <new-manifest>`.
+# SKIA_SPANS=1/0 force-enables/disables span profiling (default: on exactly
+# when --emit-json is passed; spans never touch stdout).
 # SKIA_CACHE points the on-disk cache somewhere else (default
 # target/skia-cache; set to 0 to disable). The cache holds BOTH generated
 # program images AND recorded branch traces: the first run of this script
@@ -36,5 +43,10 @@ for exp in table1 table2 fig01 fig06 fig13 fig15 fig16 fig18 fig14 ablations fig
   exp_end=$(date +%s)
   echo "done: results/$exp.md (${exp}: $((exp_end - exp_start))s)"
 done
+if [ -n "${SKIA_EMIT:-}" ]; then
+  ./target/release/skia-report collect \
+    --out results/manifest.json --md results/manifest.md \
+    --chrome results/trace.json results/*.telemetry.json
+fi
 total_end=$(date +%s)
 echo "all experiments done in $((total_end - total_start))s"
