@@ -107,10 +107,14 @@ pub struct ShadowDecoderStats {
 }
 
 /// Entry bound for the head- and tail-decode memos: at ~100 bytes per
-/// cached [`HeadDecode`] this is ≈2 MB, and a workload's hot lines fit many
-/// times over. Each memo is cleared wholesale when full (re-decoding is
-/// cheap; bookkeeping an LRU here would cost more than it saves).
-const HEAD_MEMO_CAP: usize = 16 * 1024;
+/// cached [`HeadDecode`] this is ≈13 MB, enough that paper-scale programs
+/// (thousands of functions, each contributing a handful of distinct
+/// `(line, entry)` pairs) stay memo-resident instead of thrashing. Each
+/// memo is cleared wholesale when full (re-decoding is cheap; bookkeeping
+/// an LRU here would cost more than it saves). The bound only affects
+/// speed, never results: memo hits replay the exact stat increments of a
+/// fresh decode.
+const HEAD_MEMO_CAP: usize = 128 * 1024;
 
 /// The decoder: configuration plus counters. Decoding itself is pure.
 #[derive(Debug, Clone)]
@@ -121,16 +125,16 @@ pub struct ShadowDecoder {
     /// Memo for [`decode_head`]: FDIP re-fetches the same hot lines at the
     /// same entry points constantly, and head decoding (per-offset Index
     /// Computation + Path Validation) is the most expensive thing the SBD
-    /// does. Keyed by `(line base, entry offset, FNV-1a of the head bytes)`
-    /// — the content hash guards the (test-only) case of different bytes at
-    /// one address. Results are pure given the key and the fixed policy, so
-    /// hits replay the stat increments and return a shared `Arc` handle
-    /// (no per-hit allocation).
+    /// does. Keyed by `(line base, entry offset, [`key_hash`] of the head
+    /// bytes)` — see [`key_hash`] for the stable-content contract that lets
+    /// release builds skip the hash. Results are pure given the key and the
+    /// fixed policy, so hits replay the stat increments and return a shared
+    /// `Arc` handle (no per-hit allocation).
     ///
     /// [`decode_head`]: ShadowDecoder::decode_head
     head_memo: HashMap<(u64, u32, u64), Arc<HeadDecode>, MemoBuild>,
     /// Memo for [`decode_tail`], same scheme as `head_memo`: keyed by
-    /// `(line base, exit offset, FNV-1a of the tail bytes)`. Tail decoding
+    /// `(line base, exit offset, [`key_hash`] of the tail bytes)`. Tail decoding
     /// is a pure linear decode, so a hit returns a shared handle and
     /// replays the identical stat increments.
     ///
@@ -164,11 +168,31 @@ fn content_hash(bytes: &[u8]) -> u64 {
     hash.wrapping_mul(0x0000_0100_0000_01b3)
 }
 
+/// The content component of a memo key.
+///
+/// The decoders' memo contract is that the bytes at a given line base are
+/// stable for the decoder's lifetime — true for every production caller,
+/// which decodes lines of one immutable [`skia_workloads::Program`]. Debug
+/// builds key on the full content hash anyway, so any caller that violates
+/// the contract (two different lines at one address fed to one decoder)
+/// is caught by the `head_memo_distinguishes_content_at_same_address`
+/// test rather than silently aliasing. Release builds skip the hash: on a
+/// memo hit it is the only reader of the line bytes, so skipping it keeps
+/// hot hits from touching program memory at all.
+#[inline]
+fn key_hash(bytes: &[u8]) -> u64 {
+    if cfg!(debug_assertions) {
+        content_hash(bytes)
+    } else {
+        0
+    }
+}
+
 /// Shared empty result for zero-length head regions, so the hot early-out
 /// in [`ShadowDecoder::decode_head`] never allocates.
-fn empty_head() -> Arc<HeadDecode> {
+fn empty_head() -> &'static Arc<HeadDecode> {
     static EMPTY: std::sync::OnceLock<Arc<HeadDecode>> = std::sync::OnceLock::new();
-    Arc::clone(EMPTY.get_or_init(|| Arc::new(HeadDecode::default())))
+    EMPTY.get_or_init(|| Arc::new(HeadDecode::default()))
 }
 
 /// FNV-1a table hasher for the memo maps. The memos are consulted on every
@@ -184,6 +208,18 @@ impl Default for FnvTableHasher {
     }
 }
 
+impl FnvTableHasher {
+    /// One word-sized FNV round plus a xor-shift fold. Memo keys are tuples
+    /// of word-sized integers (line bases have their low 6 bits zero), and a
+    /// single multiply only propagates entropy upward — the fold brings the
+    /// high bits back down so hashbrown's low-bit bucket index sees them.
+    #[inline]
+    fn mix(&mut self, n: u64) {
+        let x = (self.0 ^ n).wrapping_mul(0x0000_0100_0000_01b3);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
 impl std::hash::Hasher for FnvTableHasher {
     fn finish(&self) -> u64 {
         self.0
@@ -194,6 +230,26 @@ impl std::hash::Hasher for FnvTableHasher {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
     }
 }
 
@@ -238,17 +294,50 @@ impl ShadowDecoder {
         line_base: u64,
         exit_offset: usize,
     ) -> Arc<Vec<ShadowBranch>> {
+        Arc::clone(self.decode_tail_memo(line, line_base, exit_offset))
+    }
+
+    /// [`ShadowDecoder::decode_tail`] without the `Arc` clone: the hot
+    /// caller (one invocation per formed block) only iterates the result,
+    /// and skipping the refcount round-trip keeps the memo-hit path free of
+    /// a dirty cache line on the shared allocation.
+    pub fn decode_tail_ref(
+        &mut self,
+        line: &[u8],
+        line_base: u64,
+        exit_offset: usize,
+    ) -> &[ShadowBranch] {
+        self.decode_tail_memo(line, line_base, exit_offset)
+    }
+
+    fn decode_tail_memo(
+        &mut self,
+        line: &[u8],
+        line_base: u64,
+        exit_offset: usize,
+    ) -> &Arc<Vec<ShadowBranch>> {
         self.stats.tail_regions += 1;
         let key = (
             line_base,
             exit_offset as u32,
-            content_hash(&line[exit_offset.min(line.len())..]),
+            key_hash(&line[exit_offset.min(line.len())..]),
         );
-        if let Some(hit) = self.tail_memo.get(&key) {
-            let found = Arc::clone(hit);
-            self.stats.tail_branches += found.len() as u64;
-            return found;
+        // Cap check up front so the single-lookup `entry` below can insert
+        // unconditionally. Clearing is never observable: memo hits replay
+        // the exact stat increments of a fresh decode.
+        if self.tail_memo.len() >= HEAD_MEMO_CAP {
+            self.tail_memo.clear();
         }
+        let found = self
+            .tail_memo
+            .entry(key)
+            .or_insert_with(|| Arc::new(Self::decode_tail_uncached(line, line_base, exit_offset)));
+        self.stats.tail_branches += found.len() as u64;
+        found
+    }
+
+    /// The actual tail linear decode (no stats, no memo).
+    fn decode_tail_uncached(line: &[u8], line_base: u64, exit_offset: usize) -> Vec<ShadowBranch> {
         let mut found = Vec::new();
         let mut off = exit_offset;
         while off < line.len() {
@@ -280,12 +369,6 @@ impl ShadowDecoder {
                 Err(DecodeError::InvalidOpcode) => break,
             }
         }
-        self.stats.tail_branches += found.len() as u64;
-        if self.tail_memo.len() >= HEAD_MEMO_CAP {
-            self.tail_memo.clear();
-        }
-        let found = Arc::new(found);
-        self.tail_memo.insert(key, Arc::clone(&found));
         found
     }
 
@@ -302,41 +385,72 @@ impl ShadowDecoder {
         line_base: u64,
         entry_offset: usize,
     ) -> Arc<HeadDecode> {
+        Arc::clone(self.decode_head_memo(line, line_base, entry_offset))
+    }
+
+    /// [`ShadowDecoder::decode_head`] without the `Arc` clone (see
+    /// [`ShadowDecoder::decode_tail_ref`] for why the hot path wants this).
+    pub fn decode_head_ref(
+        &mut self,
+        line: &[u8],
+        line_base: u64,
+        entry_offset: usize,
+    ) -> &HeadDecode {
+        self.decode_head_memo(line, line_base, entry_offset)
+    }
+
+    fn decode_head_memo(
+        &mut self,
+        line: &[u8],
+        line_base: u64,
+        entry_offset: usize,
+    ) -> &Arc<HeadDecode> {
         self.stats.head_regions += 1;
         let entry = entry_offset.min(line.len());
         if entry == 0 {
             return empty_head();
         }
-        let key = (line_base, entry as u32, content_hash(&line[..entry]));
-        if let Some(hit) = self.head_memo.get(&key) {
-            let hd = Arc::clone(hit);
-            self.record_head_stats(&hd);
-            return hd;
-        }
-        let hd = Arc::new(self.decode_head_uncached(line, line_base, entry));
-        self.record_head_stats(&hd);
+        let key = (line_base, entry as u32, key_hash(&line[..entry]));
+        // Cap check up front so the single-lookup `entry` below can insert
+        // unconditionally (clearing is unobservable; see the memo docs).
         if self.head_memo.len() >= HEAD_MEMO_CAP {
             self.head_memo.clear();
         }
-        self.head_memo.insert(key, Arc::clone(&hd));
+        let (policy, max_valid_paths) = (self.policy, self.max_valid_paths);
+        let hd = self.head_memo.entry(key).or_insert_with(|| {
+            Arc::new(Self::decode_head_uncached(
+                policy,
+                max_valid_paths,
+                line,
+                line_base,
+                entry,
+            ))
+        });
+        Self::record_head_stats(&mut self.stats, hd);
         hd
     }
 
     /// The stat increments one head decode contributes (beyond
     /// `head_regions`, charged by the caller) — derived from the outcome so
     /// memo hits and fresh decodes count identically by construction.
-    fn record_head_stats(&mut self, hd: &HeadDecode) {
+    fn record_head_stats(stats: &mut ShadowDecoderStats, hd: &HeadDecode) {
         if hd.discarded {
-            self.stats.head_regions_discarded += 1;
+            stats.head_regions_discarded += 1;
         } else if !hd.valid_starts.is_empty() {
-            self.stats.head_regions_valid += 1;
-            self.stats.valid_path_sum += hd.valid_starts.len() as u64;
-            self.stats.head_branches += hd.branches.len() as u64;
+            stats.head_regions_valid += 1;
+            stats.valid_path_sum += hd.valid_starts.len() as u64;
+            stats.head_branches += hd.branches.len() as u64;
         }
     }
 
     /// The actual Index Computation + Path Validation (no stats, no memo).
-    fn decode_head_uncached(&self, line: &[u8], line_base: u64, entry: usize) -> HeadDecode {
+    fn decode_head_uncached(
+        policy: IndexPolicy,
+        max_valid_paths: usize,
+        line: &[u8],
+        line_base: u64,
+        entry: usize,
+    ) -> HeadDecode {
         // Phase 1: Index Computation. lengths[i] = instruction length when
         // decoding from byte i, or 0 if no valid instruction starts there.
         // An instruction is only usable on a path if it ends at or before
@@ -390,7 +504,7 @@ impl ShadowDecoder {
             if valid {
                 if !merged {
                     families += 1;
-                    if families > self.max_valid_paths {
+                    if families > max_valid_paths {
                         discarded = true;
                         break;
                     }
@@ -426,7 +540,7 @@ impl ShadowDecoder {
             return HeadDecode::default();
         }
 
-        let chosen = match self.policy {
+        let chosen = match policy {
             IndexPolicy::First => valid_starts[0],
             // "upon finding a valid path, byte decoding begins starting from
             // index zero" — even when the zero path itself did not validate;
@@ -747,7 +861,7 @@ mod tests {
         let a2 = twice.decode_head(&valid, 0x8000, 8);
         assert_eq!(
             a2.branches,
-            twice.decode_head_uncached(&valid, 0x8000, 8).branches
+            ShadowDecoder::decode_head_uncached(IndexPolicy::First, 1, &valid, 0x8000, 8).branches
         );
         let b2 = twice.decode_head(&discarded, 0x9000, 2);
         assert!(b2.discarded);
@@ -762,6 +876,9 @@ mod tests {
         assert_eq!(s2.valid_path_sum, 2 * s1.valid_path_sum);
     }
 
+    /// Debug-only: release memo keys rely on the stable-content contract
+    /// (see [`key_hash`]) instead of hashing the bytes.
+    #[cfg(debug_assertions)]
     #[test]
     fn head_memo_distinguishes_content_at_same_address() {
         // Same (base, entry) but different bytes must not alias: the first

@@ -151,8 +151,9 @@ struct SkiaTelemetry {
     lifetime: Histogram,
     trace: Option<EventTrace>,
     cycle: u64,
-    /// Birth cycle of each live SBB entry.
-    born: std::collections::HashMap<u64, u64>,
+    /// Birth cycle of each live SBB entry. Touched on every SBB
+    /// insert/evict, so it shares the memo maps' fast FNV hasher.
+    born: std::collections::HashMap<u64, u64, crate::sbd::MemoBuild>,
 }
 
 impl SkiaTelemetry {
@@ -185,7 +186,7 @@ pub struct Skia {
     useful_uses: u64,
     /// Every PC ever inserted into the SBB (diagnostic side-structure, not
     /// hardware state; used to attribute misses to capacity vs. coverage).
-    ever_inserted: std::collections::HashSet<u64>,
+    ever_inserted: std::collections::HashSet<u64, crate::sbd::MemoBuild>,
     /// Telemetry attachment, when the host front-end enables it.
     tel: Option<SkiaTelemetry>,
 }
@@ -205,7 +206,7 @@ impl Skia {
             filtered_known: 0,
             bogus_uses: 0,
             useful_uses: 0,
-            ever_inserted: std::collections::HashSet::new(),
+            ever_inserted: std::collections::HashSet::default(),
             tel: None,
         }
     }
@@ -271,8 +272,18 @@ impl Skia {
         if !self.config.head || entry_offset == 0 {
             return 0;
         }
-        let hd = self.sbd.decode_head(line, line_base, entry_offset);
-        self.fill(&hd.branches, known)
+        // Split borrow: the decoded result stays a reference into the SBD
+        // memo (no per-call `Arc` refcount round-trip) while `fill` mutates
+        // the disjoint SBB-side fields.
+        let hd = self.sbd.decode_head_ref(line, line_base, entry_offset);
+        fill_sbb(
+            &mut self.sbb,
+            &mut self.ever_inserted,
+            &mut self.filtered_known,
+            &mut self.tel,
+            &hd.branches,
+            known,
+        )
     }
 
     /// Tail-decode hook: the FTQ entry leaves its last line at
@@ -293,28 +304,15 @@ impl Skia {
         if !self.config.tail || exit_offset >= line.len() {
             return 0;
         }
-        let branches = self.sbd.decode_tail(line, line_base, exit_offset);
-        self.fill(&branches, known)
-    }
-
-    fn fill(&mut self, branches: &[ShadowBranch], known: impl Fn(u64) -> bool) -> usize {
-        let mut inserted = 0;
-        for b in branches {
-            if known(b.pc) || self.sbb.probe(b.pc).is_some() {
-                self.filtered_known += 1;
-                continue;
-            }
-            let evicted = self.sbb.insert(b);
-            self.ever_inserted.insert(b.pc);
-            if let Some(t) = &mut self.tel {
-                if let Some(victim) = evicted {
-                    t.note_remove(victim);
-                }
-                t.note_insert(b.pc);
-            }
-            inserted += 1;
-        }
-        inserted
+        let branches = self.sbd.decode_tail_ref(line, line_base, exit_offset);
+        fill_sbb(
+            &mut self.sbb,
+            &mut self.ever_inserted,
+            &mut self.filtered_known,
+            &mut self.tel,
+            branches,
+            known,
+        )
     }
 
     /// BPU-parallel probe (Fig. 11): consulted on (or alongside) every BTB
@@ -391,6 +389,37 @@ impl Skia {
     pub fn occupancy(&self) -> (usize, usize) {
         self.sbb.occupancy()
     }
+}
+
+/// Insert decoded shadow branches into the SBB (the body of the two
+/// shadow-decode hooks). A free function over `Skia`'s disjoint fields so
+/// the branch list may remain borrowed from the SBD memo while the SBB side
+/// mutates.
+fn fill_sbb(
+    sbb: &mut Sbb,
+    ever_inserted: &mut std::collections::HashSet<u64, crate::sbd::MemoBuild>,
+    filtered_known: &mut u64,
+    tel: &mut Option<SkiaTelemetry>,
+    branches: &[ShadowBranch],
+    known: impl Fn(u64) -> bool,
+) -> usize {
+    let mut inserted = 0;
+    for b in branches {
+        if known(b.pc) || sbb.probe(b.pc).is_some() {
+            *filtered_known += 1;
+            continue;
+        }
+        let evicted = sbb.insert(b);
+        ever_inserted.insert(b.pc);
+        if let Some(t) = tel {
+            if let Some(victim) = evicted {
+                t.note_remove(victim);
+            }
+            t.note_insert(b.pc);
+        }
+        inserted += 1;
+    }
+    inserted
 }
 
 #[cfg(test)]

@@ -128,7 +128,7 @@ impl Workload {
     ) -> SimStats {
         assert!(trace.len() >= steps, "recorded trace shorter than request");
         let mut sim = Simulator::new(&self.program, config);
-        sim.run(trace.replay().take(steps))
+        sim.run_batched(trace, steps, skia_runner::chunk_size())
     }
 
     /// [`Workload::run_trace`] with full telemetry export (the replay
@@ -142,11 +142,13 @@ impl Workload {
         trace_config: Option<TraceConfig>,
     ) -> (SimStats, Snapshot) {
         assert!(trace.len() >= steps, "recorded trace shorter than request");
-        skia_frontend::run_instrumented(
+        skia_frontend::run_instrumented_batched(
             &self.program,
             config,
             trace_config,
-            trace.replay().take(steps),
+            trace,
+            steps,
+            skia_runner::chunk_size(),
         )
     }
 

@@ -1,0 +1,214 @@
+//! Byte-exact equivalence of the batched replay kernel.
+//!
+//! [`Simulator::run_batched`] consumes a [`RecordedTrace`]'s columns in
+//! chunks and drains the telemetry accumulator once per chunk; the per-step
+//! [`Simulator::run`] consumes a step iterator and drains at finalization.
+//! Everything downstream — every figure, every sweep — assumes the two are
+//! *indistinguishable*: identical [`SimStats`], identical registry
+//! [`Snapshot`], at any chunk size, any trace length, any configuration,
+//! serial or threaded. This suite is that contract, plus the proof that it
+//! has teeth: a planted accumulator double-flush must be caught.
+//!
+//! Divergences found here reduce to an `(spec, config, steps, chunk)`
+//! quadruple that is printed on failure; the oracle lockstep harness covers
+//! the same property per corpus case with full replay tokens.
+
+use proptest::prelude::*;
+use skia_experiments::StandingConfig;
+use skia_frontend::{BatchFault, FrontendConfig, SimStats, Simulator};
+use skia_workloads::{Layout, Program, ProgramSpec, RecordedTrace};
+
+/// A small program with both layouts' feature mix (dispatch, loops,
+/// bursts) — big enough to exercise BTB misses, SBB traffic and resteers,
+/// small enough to generate per test case.
+fn small_spec(seed: u64, bolted: bool) -> ProgramSpec {
+    ProgramSpec {
+        seed,
+        functions: 60,
+        dispatch_blocks: 8,
+        dispatch_callees: 8,
+        burst_pool: 4,
+        layout: if bolted {
+            Layout::Bolted
+        } else {
+            Layout::Interleaved
+        },
+        ..ProgramSpec::default()
+    }
+}
+
+/// Per-step reference result: `run` over `replay().take(steps)`.
+fn per_step(
+    program: &Program,
+    config: &FrontendConfig,
+    trace: &RecordedTrace,
+    steps: usize,
+) -> SimStats {
+    let mut sim = Simulator::new(program, config.clone());
+    sim.run(trace.replay().take(steps))
+}
+
+/// Batched result at one chunk size.
+fn batched(
+    program: &Program,
+    config: &FrontendConfig,
+    trace: &RecordedTrace,
+    steps: usize,
+    chunk: usize,
+) -> SimStats {
+    let mut sim = Simulator::new(program, config.clone());
+    sim.run_batched(trace, steps, chunk)
+}
+
+/// The chunk-size × trace-length edge matrix: chunk sizes {1, 7, 4096,
+/// oversized} against lengths {0, 1, chunk−1, chunk, chunk+1}, clamped
+/// to the recording. Every cell must match the per-step kernel exactly.
+#[test]
+fn chunk_size_and_length_matrix() {
+    let program = Program::generate(&small_spec(5, false));
+    let recorded = RecordedTrace::record(&program, 42, 6, 4097 + 1);
+    let config = FrontendConfig::test_small();
+    for &chunk in &[1usize, 7, 4096] {
+        for &steps in &[0usize, 1, chunk - 1, chunk, chunk + 1] {
+            let steps = steps.min(recorded.len());
+            let reference = per_step(&program, &config, &recorded, steps);
+            let got = batched(&program, &config, &recorded, steps, chunk);
+            assert_eq!(got, reference, "chunk={chunk} steps={steps}");
+            // Chunk larger than the whole replay: one chunk, one flush.
+            let oversized = batched(&program, &config, &recorded, steps, steps.max(1) + 1);
+            assert_eq!(oversized, reference, "oversized chunk, steps={steps}");
+        }
+    }
+}
+
+/// The standing processor configurations (Table 1's machine under the
+/// Fig. 3 / Fig. 16 BTB variants, with and without Skia) all replay
+/// identically through the batched kernel.
+#[test]
+fn standing_configs_match_per_step() {
+    let program = Program::generate(&small_spec(9, true));
+    let recorded = RecordedTrace::record(&program, 7, 6, 2000);
+    for sc in [
+        StandingConfig::Btb(1024),
+        StandingConfig::BtbPlusBudget(1024),
+        StandingConfig::BtbPlusSkia(1024),
+        StandingConfig::Infinite,
+    ] {
+        let config = sc.frontend();
+        let reference = per_step(&program, &config, &recorded, 2000);
+        for chunk in [64usize, 1000, 4096] {
+            let got = batched(&program, &config, &recorded, 2000, chunk);
+            assert_eq!(got, reference, "{sc:?} chunk={chunk}");
+        }
+    }
+}
+
+/// The full registry snapshot — every counter, gauge and histogram, not
+/// just the `SimStats` projection — is identical through the batched
+/// kernel, including with event tracing enabled.
+#[test]
+fn instrumented_snapshot_matches() {
+    let program = Program::generate(&small_spec(3, false));
+    let recorded = RecordedTrace::record(&program, 11, 6, 1500);
+    let config = StandingConfig::BtbPlusSkia(512).frontend();
+    let tc = Some(skia_telemetry::TraceConfig {
+        capacity: 1 << 18,
+        sample_every: 1,
+    });
+    let (ref_stats, ref_snap) =
+        skia_frontend::run_instrumented(&program, config.clone(), tc, recorded.replay().take(1500));
+    for chunk in [1usize, 333, 4096] {
+        let (stats, snap) = skia_frontend::run_instrumented_batched(
+            &program,
+            config.clone(),
+            tc,
+            &recorded,
+            1500,
+            chunk,
+        );
+        assert_eq!(stats, ref_stats, "chunk={chunk}");
+        assert_eq!(snap, ref_snap, "chunk={chunk}");
+    }
+}
+
+/// The parallel sweep driver returns the same batched results in the same
+/// order at any thread count (the `SKIA_THREADS=4` gate, expressed through
+/// the runner's explicit thread parameter so tests don't mutate the
+/// process environment).
+#[test]
+fn threaded_sweep_matches_serial() {
+    let program = Program::generate(&small_spec(21, false));
+    let recorded = RecordedTrace::record(&program, 13, 6, 1200);
+    let jobs: Vec<(StandingConfig, usize)> = vec![
+        (StandingConfig::Btb(512), 64),
+        (StandingConfig::BtbPlusSkia(512), 128),
+        (StandingConfig::Btb(2048), 4096),
+        (StandingConfig::BtbPlusSkia(2048), 1000),
+        (StandingConfig::Infinite, 1),
+    ];
+    let run = |threads: usize| -> Vec<SimStats> {
+        skia_runner::run_indexed(&jobs, threads, |_, &(sc, chunk)| {
+            batched(&program, &sc.frontend(), &recorded, 1200, chunk)
+        })
+    };
+    let serial = run(1);
+    let four = run(4);
+    assert_eq!(serial, four);
+    // And each equals the per-step kernel.
+    for (got, &(sc, _)) in serial.iter().zip(&jobs) {
+        assert_eq!(
+            got,
+            &per_step(&program, &sc.frontend(), &recorded, 1200),
+            "{sc:?}"
+        );
+    }
+}
+
+/// Sensitivity: a planted accumulator double-flush at chunk boundaries
+/// must produce stats that differ from the per-step kernel — the gate is
+/// only trustworthy if it fails when batching is wrong.
+#[test]
+fn planted_double_flush_is_detected() {
+    let program = Program::generate(&small_spec(5, false));
+    let recorded = RecordedTrace::record(&program, 42, 6, 500);
+    let config = FrontendConfig::test_small();
+    let reference = per_step(&program, &config, &recorded, 500);
+    let mut sim = Simulator::new(&program, config.clone());
+    sim.plant_batch_fault(BatchFault::DoubleFlush);
+    let faulty = sim.run_batched(&recorded, 500, 100);
+    assert_ne!(
+        faulty, reference,
+        "the equivalence gate failed to detect a planted double-flush"
+    );
+    // The damage is what a double drain predicts: retirement counters
+    // doubled (every step's delta flushed twice).
+    assert_eq!(faulty.branches, 2 * reference.branches);
+    assert_eq!(faulty.instructions, 2 * reference.instructions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Equivalence holds for any (layout, seeds, length, chunk size) —
+    /// including chunk sizes around the trace length and the Skia-attached
+    /// configuration.
+    #[test]
+    fn batched_equals_per_step_for_random_cases(
+        prog_seed in any::<u64>(),
+        walk_seed in any::<u64>(),
+        bolted in any::<bool>(),
+        with_skia in any::<bool>(),
+        steps in 1usize..1200,
+        chunk in 1usize..1500,
+    ) {
+        let program = Program::generate(&small_spec(prog_seed, bolted));
+        let recorded = RecordedTrace::record(&program, walk_seed, 6, steps);
+        let mut config = FrontendConfig::test_small();
+        if with_skia {
+            config.skia = Some(skia_core::SkiaConfig::default());
+        }
+        let reference = per_step(&program, &config, &recorded, steps);
+        let got = batched(&program, &config, &recorded, steps, chunk);
+        prop_assert_eq!(got, reference, "steps={} chunk={}", steps, chunk);
+    }
+}

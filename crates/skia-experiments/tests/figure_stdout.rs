@@ -1,0 +1,89 @@
+//! Figure-binary stdout is frozen: every paper table and figure prints
+//! byte-identical output to the goldens captured from the per-step kernel
+//! before the batched replay kernel landed.
+//!
+//! `SimStats` equality (see `batched_equivalence.rs`) covers the simulator
+//! core; this suite covers everything between the simulator and the paper —
+//! sweep drivers, averaging, table formatting — at the 2000-step CI scale,
+//! serially and on a thread pool with a deliberately odd chunk size. To
+//! re-bless after an *intentional* results change, rerun each binary with
+//! `SKIA_STEPS=2000 SKIA_CACHE=0 SKIA_THREADS=1` and overwrite
+//! `tests/golden_stdout/<name>.stdout`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The twelve paper binaries and their compiled paths. `env!` needs a
+/// literal per binary, hence the table.
+const FIGURES: [(&str, &str); 12] = [
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("table2", env!("CARGO_BIN_EXE_table2")),
+    ("fig01", env!("CARGO_BIN_EXE_fig01")),
+    ("fig03", env!("CARGO_BIN_EXE_fig03")),
+    ("fig06", env!("CARGO_BIN_EXE_fig06")),
+    ("fig13", env!("CARGO_BIN_EXE_fig13")),
+    ("fig14", env!("CARGO_BIN_EXE_fig14")),
+    ("fig15", env!("CARGO_BIN_EXE_fig15")),
+    ("fig16", env!("CARGO_BIN_EXE_fig16")),
+    ("fig17", env!("CARGO_BIN_EXE_fig17")),
+    ("fig18", env!("CARGO_BIN_EXE_fig18")),
+    ("ablations", env!("CARGO_BIN_EXE_ablations")),
+];
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_stdout")
+        .join(format!("{name}.stdout"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()))
+}
+
+/// Run one figure binary at CI scale and return its stdout bytes.
+/// `chunk` of `None` leaves the batched kernel at its default chunk size.
+fn run(name: &str, exe: &str, threads: &str, chunk: Option<&str>) -> Vec<u8> {
+    let mut cmd = Command::new(exe);
+    cmd.env("SKIA_STEPS", "2000")
+        .env("SKIA_CACHE", "0")
+        .env("SKIA_THREADS", threads);
+    match chunk {
+        Some(c) => cmd.env("SKIA_CHUNK", c),
+        None => cmd.env_remove("SKIA_CHUNK"),
+    };
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited nonzero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_matches_golden(threads: &str, chunk: Option<&str>) {
+    let mut diverged = Vec::new();
+    for (name, exe) in FIGURES {
+        let got = run(name, exe, threads, chunk);
+        if got != golden(name) {
+            diverged.push(name);
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "stdout diverged from golden (threads={threads}, chunk={chunk:?}): {diverged:?}\n\
+         If the results change is intentional, re-bless per the module docs."
+    );
+}
+
+/// Serial, default chunk size: the exact configuration the goldens were
+/// captured under, now flowing through the batched kernel.
+#[test]
+fn figures_match_golden_serial() {
+    assert_matches_golden("1", None);
+}
+
+/// Thread pool plus a deliberately odd chunk size: neither parallel sweep
+/// scheduling nor chunk-boundary placement may leak into the tables.
+#[test]
+fn figures_match_golden_threaded_odd_chunk() {
+    assert_matches_golden("4", Some("257"));
+}

@@ -41,7 +41,7 @@ pub mod telemetry;
 
 pub use bpu::{Bpu, PredictedBlock, PredictedBranch};
 pub use config::{BtbMode, FrontendConfig};
-pub use sim::Simulator;
+pub use sim::{BatchFault, Simulator};
 pub use stats::SimStats;
 pub use telemetry::{FrontendTelemetry, SimCounters};
 
@@ -89,6 +89,30 @@ pub fn run_instrumented(
         sim.enable_trace(tc);
     }
     let stats = sim.run(trace);
+    let snapshot = sim.snapshot();
+    (stats, snapshot)
+}
+
+/// [`run_instrumented`] over the batched replay kernel
+/// ([`Simulator::run_batched`]): byte-identical stats and snapshot, chunked
+/// column consumption. Sweep drivers use this for recorded traces.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is 0 or the recording is shorter than `steps`.
+pub fn run_instrumented_batched(
+    program: &skia_workloads::Program,
+    config: FrontendConfig,
+    trace_config: Option<skia_telemetry::TraceConfig>,
+    trace: &skia_workloads::RecordedTrace,
+    steps: usize,
+    chunk_size: usize,
+) -> (SimStats, skia_telemetry::Snapshot) {
+    let mut sim = Simulator::new(program, config);
+    if let Some(tc) = trace_config {
+        sim.enable_trace(tc);
+    }
+    let stats = sim.run_batched(trace, steps, chunk_size);
     let snapshot = sim.snapshot();
     (stats, snapshot)
 }

@@ -20,12 +20,24 @@ use std::collections::VecDeque;
 use skia_isa::BranchKind;
 use skia_telemetry::{EventKind, EventTrace, MetricRegistry, Snapshot, TraceConfig};
 use skia_uarch::cache::Hierarchy;
-use skia_workloads::{Program, TraceStep};
+use skia_workloads::{Program, RecordedTrace, TraceStep};
 
 use crate::bpu::{Bpu, PredictedBlock};
 use crate::config::FrontendConfig;
 use crate::stats::{ResteerCause, ResteerStage, SimStats};
-use crate::telemetry::FrontendTelemetry;
+use crate::telemetry::{FrontendTelemetry, SimAccum};
+
+/// Deliberate batched-kernel bugs, plantable via
+/// [`Simulator::plant_batch_fault`] to prove the byte-exact equivalence
+/// gates actually detect batching mistakes (the same discipline as
+/// `skia-oracle`'s `OracleFault` knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// Drain the per-chunk telemetry accumulator twice at every chunk
+    /// boundary, double-counting every pending delta — the classic
+    /// accumulator-lifecycle bug a batched kernel can introduce.
+    DoubleFlush,
+}
 
 /// Average x86 instruction length assumed when estimating decode occupancy
 /// of a byte range (retirement counts are exact; this only shapes decode
@@ -87,6 +99,11 @@ pub struct Simulator<'p> {
     hier: Hierarchy,
     registry: MetricRegistry,
     tel: FrontendTelemetry,
+    /// Hot-path metric deltas, drained into `tel` whenever stats are
+    /// observed (finalize/stats/snapshot) and at batch boundaries.
+    acc: SimAccum,
+    /// Planted batched-kernel bug, if any (test harness only).
+    batch_fault: Option<BatchFault>,
     iag_cycle: u64,
     decode_free: u64,
     /// Decode-completion times of in-flight FTQ entries.
@@ -115,6 +132,8 @@ impl<'p> Simulator<'p> {
             config,
             registry,
             tel,
+            acc: SimAccum::default(),
+            batch_fault: None,
             iag_cycle: 0,
             decode_free: 0,
             ftq: VecDeque::new(),
@@ -138,17 +157,81 @@ impl<'p> Simulator<'p> {
     /// Replay a trace to completion and return the statistics.
     pub fn run(&mut self, trace: impl Iterator<Item = TraceStep>) -> SimStats {
         for step in trace {
-            self.tel.c.branches.inc();
-            self.tel.c.instructions.add(u64::from(step.insns));
-            if step.taken {
-                self.tel.c.taken_branches.inc();
-            }
-            self.verify_step(&step);
+            self.replay_step(&step);
         }
         self.finalize()
     }
 
+    /// Replay the first `steps` steps of a recorded trace through the
+    /// batched kernel and return the statistics.
+    ///
+    /// Steps are consumed chunk-by-chunk straight from the trace's columns
+    /// ([`RecordedTrace::chunks`]); the per-step telemetry accumulator is
+    /// drained once per chunk boundary instead of once at finalization.
+    /// Both differences are exact — the chunk concatenation is bit-identical
+    /// to `replay().take(steps)` and the accumulator drain commutes — so
+    /// the result equals [`Simulator::run`] over the same stream byte for
+    /// byte. The `batched_equivalence` suite and the oracle lockstep
+    /// harness enforce that equality; [`Simulator::plant_batch_fault`]
+    /// proves they can tell when it breaks.
+    ///
+    /// The per-step [`Simulator::run`] stays the entry point for
+    /// oracle-lockstep (which compares full stats after every step) and
+    /// live-walk iterators; sweeps over recorded traces use this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0 or the recording is shorter than
+    /// `steps`.
+    pub fn run_batched(
+        &mut self,
+        trace: &RecordedTrace,
+        steps: usize,
+        chunk_size: usize,
+    ) -> SimStats {
+        for chunk in trace.chunks(steps, chunk_size) {
+            for step in chunk {
+                self.replay_step(&step);
+            }
+            self.flush_chunk();
+        }
+        self.finalize()
+    }
+
+    /// The shared per-step body of [`Simulator::run`] and
+    /// [`Simulator::run_batched`]: retirement accounting plus lockstep
+    /// verification of one trace step.
+    #[inline]
+    fn replay_step(&mut self, step: &TraceStep) {
+        self.acc.branches += 1;
+        self.acc.instructions += u64::from(step.insns);
+        if step.taken {
+            self.acc.taken_branches += 1;
+        }
+        self.verify_step(step);
+    }
+
+    /// Drain the telemetry accumulator at a batch boundary — and, when a
+    /// [`BatchFault`] is planted, misbehave on purpose first.
+    fn flush_chunk(&mut self) {
+        if self.batch_fault == Some(BatchFault::DoubleFlush) {
+            // Flush a ghost copy of the pending deltas before the real
+            // drain: every pending counter lands twice.
+            let mut ghost = self.acc.clone();
+            ghost.flush_into(&self.tel);
+        }
+        self.acc.flush_into(&self.tel);
+    }
+
+    /// Plant a deliberate batching bug (see [`BatchFault`]). Test-harness
+    /// API: the equivalence and lockstep suites use this to prove they
+    /// detect batched-kernel regressions; production runners never call it.
+    pub fn plant_batch_fault(&mut self, fault: BatchFault) {
+        self.batch_fault = Some(fault);
+    }
+
     fn finalize(&mut self) -> SimStats {
+        self.acc.flush_into(&self.tel);
         let retire_floor = self
             .tel
             .c
@@ -163,7 +246,8 @@ impl<'p> Simulator<'p> {
     /// Materialize the current counters into a [`SimStats`]. `cycles` is 0
     /// until the run finalizes (as before the registry existed).
     #[must_use]
-    pub fn stats(&self) -> SimStats {
+    pub fn stats(&mut self) -> SimStats {
+        self.acc.flush_into(&self.tel);
         let mut stats = SimStats::default();
         self.tel.c.materialize_into(&mut stats);
         for (i, c) in self.tel.btb_miss_by_kind.iter().enumerate() {
@@ -219,7 +303,7 @@ impl<'p> Simulator<'p> {
             self.iag_cycle = self.iag_cycle.max(head);
         }
         self.iag_cycle += 1;
-        self.tel.ftq_occupancy.record(self.ftq.len() as u64);
+        self.acc.ftq_occupancy.record(self.ftq.len() as u64);
 
         let block = self.bpu.predict_block();
         self.issue_block(block)
@@ -232,20 +316,17 @@ impl<'p> Simulator<'p> {
         let frontier =
             (self.iag_cycle + u64::from(self.config.fetch_to_decode)).max(self.decode_free);
         if frontier > self.decode_free {
-            self.tel
-                .c
-                .idle_resteer_cycles
-                .add(frontier - self.decode_free);
+            self.acc.idle_resteer_cycles += frontier - self.decode_free;
         }
         let decode_start = frontier.max(fill_done);
         if decode_start > frontier {
-            self.tel.c.idle_icache_cycles.add(decode_start - frontier);
+            self.acc.idle_icache_cycles += decode_start - frontier;
         }
         let bytes = block.end.saturating_sub(block.start).max(1);
         let decode_cycles = bytes
             .div_ceil(u64::from(self.config.decode_width) * AVG_INSN_BYTES)
             .max(1);
-        self.tel.c.decode_busy_cycles.add(decode_cycles);
+        self.acc.decode_busy_cycles += decode_cycles;
         self.decode_free = decode_start + decode_cycles;
         self.ftq.push_back(self.decode_free);
 
@@ -270,7 +351,7 @@ impl<'p> Simulator<'p> {
             skia.set_cycle(self.iag_cycle);
         }
         let inserted = self.bpu.shadow_decode(self.program, block) as u64;
-        self.tel.shadow_batch.record(inserted);
+        self.acc.shadow_batch.record(inserted);
         self.tel.event(
             self.iag_cycle,
             EventKind::ShadowDecode,
@@ -359,7 +440,7 @@ impl<'p> Simulator<'p> {
                     self.commit_aligned(step, &b);
                     if correct {
                         if b.from_sbb {
-                            self.tel.c.sbb_rescues.inc();
+                            self.acc.sbb_rescues += 1;
                             self.tel
                                 .event(self.iag_cycle, EventKind::SbbRescue, step.branch_pc, 0);
                         }
@@ -372,10 +453,10 @@ impl<'p> Simulator<'p> {
                         ResteerCause::Target
                     };
                     match step.kind {
-                        BranchKind::DirectCond => self.tel.c.cond_mispredicts.inc(),
-                        BranchKind::Return => self.tel.c.return_mispredicts.inc(),
+                        BranchKind::DirectCond => self.acc.cond_mispredicts += 1,
+                        BranchKind::Return => self.acc.return_mispredicts += 1,
                         BranchKind::IndirectJmp | BranchKind::IndirectCall => {
-                            self.tel.c.indirect_mispredicts.inc();
+                            self.acc.indirect_mispredicts += 1;
                         }
                         _ => {}
                     }
@@ -402,9 +483,9 @@ impl<'p> Simulator<'p> {
 
     fn kind_counters(&mut self, kind: BranchKind) {
         match kind {
-            BranchKind::DirectCond => self.tel.c.cond_branches.inc(),
+            BranchKind::DirectCond => self.acc.cond_branches += 1,
             BranchKind::IndirectJmp | BranchKind::IndirectCall => {
-                self.tel.c.indirect_branches.inc();
+                self.acc.indirect_branches += 1;
             }
             _ => {}
         }
@@ -448,12 +529,12 @@ impl<'p> Simulator<'p> {
         if self.bpu.btb_resident(step.branch_pc) {
             return;
         }
-        self.tel.c.btb_misses.inc();
+        self.acc.btb_misses += 1;
         let idx = BranchKind::ALL
             .iter()
             .position(|&k| k == step.kind)
             .expect("kind in table");
-        self.tel.btb_miss_by_kind[idx].inc();
+        self.acc.btb_miss_by_kind[idx] += 1;
         self.tel.event(
             self.iag_cycle,
             EventKind::BtbMiss,
@@ -461,16 +542,16 @@ impl<'p> Simulator<'p> {
             idx as u64,
         );
         if step.taken {
-            self.tel.c.btb_miss_taken.inc();
+            self.acc.btb_miss_taken += 1;
             if step.kind.sbb_eligible() {
-                self.tel.c.btb_miss_rescuable.inc();
+                self.acc.btb_miss_rescuable += 1;
                 if self
                     .bpu
                     .skia
                     .as_ref()
                     .is_some_and(|s| s.ever_inserted(step.branch_pc))
                 {
-                    self.tel.c.rescuable_seen_before.inc();
+                    self.acc.rescuable_seen_before += 1;
                 }
             }
         }
@@ -481,7 +562,7 @@ impl<'p> Simulator<'p> {
             .find(|&&(a, _)| a == la)
             .map_or_else(|| self.hier.l1i_contains(step.branch_pc), |&(_, r)| r);
         if resident_before {
-            self.tel.c.btb_miss_l1i_resident.inc();
+            self.acc.btb_miss_l1i_resident += 1;
         }
     }
 
@@ -498,14 +579,14 @@ impl<'p> Simulator<'p> {
                 if self.bpu.ras_top_is(step.next_pc) {
                     ResteerStage::Decode
                 } else {
-                    self.tel.c.return_mispredicts.inc();
+                    self.acc.return_mispredicts += 1;
                     ResteerStage::Execute
                 }
             }
             // The decoder identifies a conditional; a decode-time late
             // predict rescues it only if TAGE agrees it is taken.
             BranchKind::DirectCond => {
-                self.tel.c.cond_mispredicts.inc();
+                self.acc.cond_mispredicts += 1;
                 if self.bpu.tage_would_predict(step.branch_pc, true) {
                     ResteerStage::Decode
                 } else {
@@ -517,7 +598,7 @@ impl<'p> Simulator<'p> {
                 if self.bpu.ittage_would_predict(step.branch_pc, step.next_pc) {
                     ResteerStage::Decode
                 } else {
-                    self.tel.c.indirect_mispredicts.inc();
+                    self.acc.indirect_mispredicts += 1;
                     ResteerStage::Execute
                 }
             }
@@ -536,7 +617,7 @@ impl<'p> Simulator<'p> {
 
     /// The decoder found no branch where the SBB said there was one.
     fn resteer_bogus(&mut self, pending: &InFlight, bogus_pc: u64) {
-        self.tel.c.bogus_resteers.inc();
+        self.acc.bogus_resteers += 1;
         if let Some(skia) = &mut self.bpu.skia {
             skia.set_cycle(self.iag_cycle);
             skia.note_bogus(bogus_pc);
@@ -566,11 +647,11 @@ impl<'p> Simulator<'p> {
         let _ = cause;
         let detect = match stage {
             ResteerStage::Decode => {
-                self.tel.c.decode_resteers.inc();
+                self.acc.decode_resteers += 1;
                 pending.decode_start + 1
             }
             ResteerStage::Execute => {
-                self.tel.c.exec_resteers.inc();
+                self.acc.exec_resteers += 1;
                 pending.decode_start + u64::from(self.config.exec_detect)
             }
         };
@@ -583,8 +664,8 @@ impl<'p> Simulator<'p> {
         for _ in 0..wp_blocks {
             let blk = self.bpu.predict_block();
             let lines = self.prefetch_lines(&blk);
-            self.tel.c.wrong_path_prefetches.add(lines.len() as u64);
-            self.tel.c.wrong_path_blocks.inc();
+            self.acc.wrong_path_prefetches += lines.len() as u64;
+            self.acc.wrong_path_blocks += 1;
             self.shadow_decode(&blk);
         }
 
@@ -600,7 +681,7 @@ impl<'p> Simulator<'p> {
         // The repair bubble: from the mispredicted block's formation to the
         // IAG restart.
         let repair_latency = self.iag_cycle.saturating_sub(pending.iag_cycle);
-        self.tel.resteer_latency.record(repair_latency);
+        self.acc.resteer_latency.record(repair_latency);
         let stage_arg = match stage {
             ResteerStage::Decode => 0,
             ResteerStage::Execute => 1,

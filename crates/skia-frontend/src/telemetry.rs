@@ -9,7 +9,7 @@
 //! lookups) and [`SimStats`] is rebuilt from the registry on demand.
 
 use skia_isa::BranchKind;
-use skia_telemetry::{Counter, EventKind, EventTrace, Histogram, MetricRegistry};
+use skia_telemetry::{Counter, EventKind, EventTrace, Histogram, LocalHistogram, MetricRegistry};
 
 use crate::stats::SimStats;
 
@@ -78,6 +78,59 @@ macro_rules! define_sim_counters {
     };
 }
 for_each_sim_counter!(define_sim_counters);
+
+macro_rules! define_sim_accum {
+    ($(($field:ident, $name:literal)),+ $(,)?) => {
+        /// Batch-local mirror of every hot-path metric: plain `u64` fields
+        /// instead of `Rc<Cell>` handles and [`LocalHistogram`]s instead of
+        /// shared [`Histogram`]s. The simulator increments this on its hot
+        /// path and [`SimAccum::flush_into`] drains it into the registry
+        /// handles — an exact operation (counter adds commute; histogram
+        /// absorb is record-equivalent), so batching the flush is
+        /// unobservable in [`SimStats`] or any snapshot.
+        ///
+        /// `cycles` is present for macro uniformity but never incremented:
+        /// it is computed and `set` directly at finalization.
+        #[derive(Debug, Clone, Default)]
+        pub struct SimAccum {
+            $(
+                #[doc = concat!("Pending delta for `", $name, "`.")]
+                pub $field: u64,
+            )+
+            /// Pending per-kind BTB-miss deltas ([`BranchKind::ALL`] order).
+            pub btb_miss_by_kind: [u64; 6],
+            /// Pending `ftq.occupancy` records.
+            pub ftq_occupancy: LocalHistogram,
+            /// Pending `resteer.repair_latency` records.
+            pub resteer_latency: LocalHistogram,
+            /// Pending `shadow_decode.batch_size` records.
+            pub shadow_batch: LocalHistogram,
+        }
+
+        impl SimAccum {
+            /// Drain every pending delta into the shared handles, leaving
+            /// this accumulator empty.
+            pub fn flush_into(&mut self, tel: &FrontendTelemetry) {
+                $(
+                    if self.$field != 0 {
+                        tel.c.$field.add(self.$field);
+                        self.$field = 0;
+                    }
+                )+
+                for (c, v) in tel.btb_miss_by_kind.iter().zip(&mut self.btb_miss_by_kind) {
+                    if *v != 0 {
+                        c.add(*v);
+                        *v = 0;
+                    }
+                }
+                tel.ftq_occupancy.absorb(&mut self.ftq_occupancy);
+                tel.resteer_latency.absorb(&mut self.resteer_latency);
+                tel.shadow_batch.absorb(&mut self.shadow_batch);
+            }
+        }
+    };
+}
+for_each_sim_counter!(define_sim_accum);
 
 /// Metric name of the per-kind BTB-miss counter for `kind`.
 #[must_use]

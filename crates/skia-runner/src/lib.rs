@@ -24,6 +24,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Default batched-replay chunk size (steps per chunk). 4k steps keeps the
+/// chunk's column slices and the simulator's accumulator comfortably inside
+/// L2 while amortizing the per-chunk telemetry drain to noise.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Resolve the batched-replay chunk size for sweep jobs.
+///
+/// The `SKIA_CHUNK` environment variable overrides [`DEFAULT_CHUNK`]
+/// (equivalence tests sweep it; results are byte-identical at any value).
+/// Unparsable or zero values warn and fall back to the default.
+#[must_use]
+pub fn chunk_size() -> usize {
+    if let Ok(v) = std::env::var("SKIA_CHUNK") {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("warning: SKIA_CHUNK={v} is not a positive integer; using default"),
+        }
+    }
+    DEFAULT_CHUNK
+}
+
 /// Resolve the worker-thread count for a sweep.
 ///
 /// Priority: an explicit `flag` (from `--threads`) wins; otherwise the

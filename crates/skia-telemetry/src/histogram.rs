@@ -102,6 +102,27 @@ impl Histogram {
         h.max = h.max.max(o.max);
     }
 
+    /// Drain a [`LocalHistogram`]'s contents into this one and reset it.
+    ///
+    /// Byte-exact: the result equals having called [`Histogram::record`]
+    /// directly for every value the local one saw (bucket counts, count, and
+    /// wrapping sum add; min/max fold, with an empty local's `u64::MAX` min
+    /// leaving ours untouched).
+    pub fn absorb(&self, local: &mut LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        let mut h = self.0.borrow_mut();
+        for (dst, src) in h.buckets.iter_mut().zip(local.buckets.iter()) {
+            *dst += src;
+        }
+        h.count += local.count;
+        h.sum = h.sum.wrapping_add(local.sum);
+        h.min = h.min.min(local.min);
+        h.max = h.max.max(local.max);
+        *local = LocalHistogram::new();
+    }
+
     /// Materialize into an owned, serializable form.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -120,6 +141,56 @@ impl Histogram {
             min: if h.count == 0 { 0 } else { h.min },
             max: h.max,
         }
+    }
+}
+
+/// An unshared histogram accumulator: the same bucket scheme as
+/// [`Histogram`] but plain fields — no `Rc`, no `RefCell` borrow per
+/// record. Hot loops record into one of these and periodically drain it
+/// into a shared [`Histogram`] via [`Histogram::absorb`]; the drain is
+/// exact, so batching records this way is unobservable in any snapshot.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one measurement.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded measurements since the last drain.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
     }
 }
 
@@ -222,6 +293,27 @@ mod tests {
                                                  // Self-merge must not double-count.
         a.merge(&a);
         assert_eq!(a.snapshot().count, 4);
+    }
+
+    #[test]
+    fn absorb_equals_direct_records() {
+        let direct = Histogram::new();
+        let batched = Histogram::new();
+        let mut local = LocalHistogram::new();
+        let values = [0u64, 1, 1, 5, 64, 1000, u64::MAX];
+        for (i, &v) in values.iter().enumerate() {
+            direct.record(v);
+            local.record(v);
+            if i % 3 == 2 {
+                batched.absorb(&mut local);
+            }
+        }
+        batched.absorb(&mut local);
+        assert_eq!(direct.snapshot(), batched.snapshot());
+        // Drained local is empty again; absorbing it is a no-op.
+        assert_eq!(local.count(), 0);
+        batched.absorb(&mut local);
+        assert_eq!(direct.snapshot(), batched.snapshot());
     }
 
     #[test]

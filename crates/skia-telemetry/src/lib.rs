@@ -61,7 +61,7 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use histogram::{Histogram, HistogramSnapshot, LocalHistogram};
 pub use registry::{Counter, Gauge, MetricRegistry};
 pub use snapshot::Snapshot;
 pub use span::{

@@ -11,22 +11,23 @@
 #[derive(Debug, Clone, Copy)]
 struct Folded {
     comp: u32,
-    clen: usize,
     olen: usize,
+    /// `clen % olen`, precomputed (loop-invariant in `update`).
+    out_shift: u32,
 }
 
 impl Folded {
     fn new(clen: usize, olen: usize) -> Self {
         Folded {
             comp: 0,
-            clen,
             olen,
+            out_shift: (clen % olen) as u32,
         }
     }
 
     fn update(&mut self, new_bit: bool, old_bit: bool) {
         self.comp = (self.comp << 1) | u32::from(new_bit);
-        self.comp ^= u32::from(old_bit) << (self.clen % self.olen);
+        self.comp ^= u32::from(old_bit) << self.out_shift;
         self.comp ^= self.comp >> self.olen;
         self.comp &= (1u32 << self.olen) - 1;
     }
@@ -90,9 +91,9 @@ pub struct IttagePrediction {
     /// Predicted target (`None` until the branch has been seen once).
     pub target: Option<u64>,
     provider: Option<usize>,
-    indices: [u32; 8],
+    indices: [u16; 8],
     tags: [u16; 8],
-    base_index: u32,
+    base_index: u16,
 }
 
 /// The ITTAGE predictor.
@@ -116,6 +117,8 @@ impl Ittage {
     #[must_use]
     pub fn new(num_tables: usize, index_bits: usize, max_history: usize) -> Self {
         assert!((1..=8).contains(&num_tables));
+        // Prediction metadata stores indices as u16.
+        assert!(index_bits <= 16);
         let min_history = 2usize;
         let ratio =
             (max_history as f64 / min_history as f64).powf(1.0 / (num_tables.max(2) - 1) as f64);
@@ -125,10 +128,12 @@ impl Ittage {
                 ItTable::new(h.max(i + 1), index_bits, 11)
             })
             .collect();
+        let capacity = (max_history + 1).next_power_of_two() * 8;
+        assert!(capacity.is_power_of_two(), "bit_ago relies on mask wrap");
         Ittage {
             tables,
             base: vec![ItEntry::default(); 1 << index_bits],
-            hist_bits: vec![false; (max_history + 1).next_power_of_two() * 8],
+            hist_bits: vec![false; capacity],
             hist_pos: 0,
             predictions: 0,
             mispredictions: 0,
@@ -142,25 +147,28 @@ impl Ittage {
     }
 
     fn bit_ago(&self, ago: usize) -> bool {
+        // `hist_bits.len()` is a power of two (asserted in `new`), so the
+        // circular wrap is a mask instead of a division.
         let n = self.hist_bits.len();
-        self.hist_bits[(self.hist_pos + n - ago) % n]
+        self.hist_bits[(self.hist_pos + n - ago) & (n - 1)]
     }
 
     /// Push one path/direction bit into the speculative history.
     pub fn push_history(&mut self, bit: bool) {
-        let olds: Vec<bool> = self
-            .tables
-            .iter()
-            .map(|t| self.bit_ago(t.hist_len))
-            .collect();
-        for (t, old) in self.tables.iter_mut().zip(olds) {
+        // Fixed array (≤ 8 tables): this runs once per committed branch and
+        // must not heap-allocate.
+        let mut olds = [false; 8];
+        for (i, t) in self.tables.iter().enumerate() {
+            olds[i] = self.bit_ago(t.hist_len);
+        }
+        for (t, &old) in self.tables.iter_mut().zip(&olds) {
             t.idx_fold.update(bit, old);
             t.tag_fold1.update(bit, old);
             t.tag_fold2.update(bit, old);
         }
-        let n = self.hist_bits.len();
-        self.hist_bits[self.hist_pos % n] = bit;
-        self.hist_pos = (self.hist_pos + 1) % n;
+        let mask = self.hist_bits.len() - 1;
+        self.hist_bits[self.hist_pos] = bit;
+        self.hist_pos = (self.hist_pos + 1) & mask;
     }
 
     /// Capture the speculative history state.
@@ -189,13 +197,13 @@ impl Ittage {
     /// Predict the target of the indirect branch at `pc`.
     #[must_use]
     pub fn predict(&self, pc: u64) -> IttagePrediction {
-        let mut indices = [0u32; 8];
+        let mut indices = [0u16; 8];
         let mut tags = [0u16; 8];
         for (i, t) in self.tables.iter().enumerate() {
-            indices[i] = t.index(pc) as u32;
+            indices[i] = t.index(pc) as u16;
             tags[i] = t.tag(pc);
         }
-        let base_index = ((pc >> 1) as usize & (self.base.len() - 1)) as u32;
+        let base_index = ((pc >> 1) as usize & (self.base.len() - 1)) as u16;
 
         let mut provider = None;
         for i in (0..self.tables.len()).rev() {

@@ -15,51 +15,56 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Folded {
     comp: u32,
-    clen: usize,
     olen: usize,
+    /// `clen % olen`, precomputed: `update` runs on every history push for
+    /// every table, and the modulo is loop-invariant.
+    out_shift: u32,
 }
 
 impl Folded {
     fn new(clen: usize, olen: usize) -> Self {
         Folded {
             comp: 0,
-            clen,
             olen,
+            out_shift: (clen % olen) as u32,
         }
     }
 
     fn update(&mut self, new_bit: bool, old_bit: bool) {
         self.comp = (self.comp << 1) | u32::from(new_bit);
-        self.comp ^= u32::from(old_bit) << (self.clen % self.olen);
+        self.comp ^= u32::from(old_bit) << self.out_shift;
         self.comp ^= self.comp >> self.olen;
         self.comp &= (1u32 << self.olen) - 1;
     }
 }
 
-/// Circular global-history bit buffer sized for deep speculation.
+/// Circular global-history bit buffer sized for deep speculation. The
+/// capacity is always a power of two so index wrap is a mask, not a 64-bit
+/// division (`bit_ago` runs once per table per history push).
 #[derive(Debug, Clone)]
 struct GlobalHistory {
     bits: Vec<bool>,
     pos: usize,
+    mask: usize,
 }
 
 impl GlobalHistory {
     fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
         GlobalHistory {
             bits: vec![false; capacity],
             pos: 0,
+            mask: capacity - 1,
         }
     }
 
     fn bit_ago(&self, ago: usize) -> bool {
-        let n = self.bits.len();
-        self.bits[(self.pos + n - ago) % n]
+        self.bits[(self.pos + self.bits.len() - ago) & self.mask]
     }
 
     fn push(&mut self, bit: bool) {
-        let n = self.bits.len();
-        self.bits[self.pos % n] = bit;
-        self.pos = (self.pos + 1) % n;
+        self.bits[self.pos] = bit;
+        self.pos = (self.pos + 1) & self.mask;
     }
 }
 
@@ -188,9 +193,9 @@ pub struct TagePrediction {
     provider: Option<usize>,
     alt_taken: bool,
     provider_weak: bool,
-    indices: [u32; MAX_TABLES],
+    indices: [u16; MAX_TABLES],
     tags: [u16; MAX_TABLES],
-    base_index: u32,
+    base_index: u16,
     from_loop: bool,
     loop_index: usize,
 }
@@ -223,6 +228,8 @@ impl Tage {
     #[must_use]
     pub fn new(config: TageConfig) -> Self {
         assert!(config.num_tables >= 2 && config.num_tables <= MAX_TABLES);
+        // Prediction metadata stores indices as u16.
+        assert!(config.table_index_bits <= 16 && config.base_index_bits <= 16);
         let mut tables = Vec::new();
         // Geometric history lengths between min and max.
         let ratio = (config.max_history as f64 / config.min_history as f64)
@@ -267,13 +274,13 @@ impl Tage {
     /// Predict the direction of the conditional branch at `pc`.
     #[must_use]
     pub fn predict(&self, pc: u64) -> TagePrediction {
-        let mut indices = [0u32; MAX_TABLES];
+        let mut indices = [0u16; MAX_TABLES];
         let mut tags = [0u16; MAX_TABLES];
         for (i, t) in self.tables.iter().enumerate() {
-            indices[i] = t.index(pc) as u32;
+            indices[i] = t.index(pc) as u16;
             tags[i] = t.tag(pc);
         }
-        let base_index = self.base_index(pc) as u32;
+        let base_index = self.base_index(pc) as u16;
         let base_taken = self.base[base_index as usize] >= 0;
 
         let mut provider = None;
@@ -310,7 +317,8 @@ impl Tage {
 
         // Loop predictor override when confident.
         let (taken, from_loop, loop_index) = if self.config.loop_predictor {
-            let li = (pc >> 1) as usize % self.loops.len();
+            // `loops` is a fixed 64-entry table; mask instead of modulo.
+            let li = (pc >> 1) as usize & (self.loops.len() - 1);
             let le = &self.loops[li];
             if le.valid && le.tag == ((pc >> 7) & 0xFFFF) as u16 && le.confidence >= 3 {
                 // `current` counts taken iterations so far; the loop exits
@@ -340,13 +348,13 @@ impl Tage {
     /// per predicted conditional branch, with the *predicted* direction; call
     /// with the resolved direction after a [`Tage::restore`]).
     pub fn push_history(&mut self, taken: bool) {
-        // Compute leaving bits before mutating the buffer.
-        let olds: Vec<bool> = self
-            .tables
-            .iter()
-            .map(|t| self.ghist.bit_ago(t.hist_len))
-            .collect();
-        for (t, old) in self.tables.iter_mut().zip(olds) {
+        // Compute leaving bits before mutating the buffer. A fixed array —
+        // this runs once per committed branch and must not heap-allocate.
+        let mut olds = [false; MAX_TABLES];
+        for (i, t) in self.tables.iter().enumerate() {
+            olds[i] = self.ghist.bit_ago(t.hist_len);
+        }
+        for (t, &old) in self.tables.iter_mut().zip(&olds) {
             t.idx_fold.update(taken, old);
             t.tag_fold1.update(taken, old);
             t.tag_fold2.update(taken, old);
@@ -468,17 +476,22 @@ impl Tage {
         // Allocate on misprediction (or on weak correct predictions, rarely).
         let start = pred.provider.map_or(0, |p| p + 1);
         if !correct && start < self.tables.len() {
-            let free: Vec<usize> = (start..self.tables.len())
-                .filter(|&i| self.tables[i].entries[pred.indices[i] as usize].useful == 0)
-                .collect();
-            if free.is_empty() {
+            let mut free = [0usize; MAX_TABLES];
+            let mut nfree = 0usize;
+            for i in start..self.tables.len() {
+                if self.tables[i].entries[pred.indices[i] as usize].useful == 0 {
+                    free[nfree] = i;
+                    nfree += 1;
+                }
+            }
+            if nfree == 0 {
                 for i in start..self.tables.len() {
                     let e = &mut self.tables[i].entries[pred.indices[i] as usize];
                     e.useful = e.useful.saturating_sub(1);
                 }
             } else {
                 // Prefer shorter history; skip ahead pseudo-randomly (Seznec).
-                let pick = if free.len() > 1 && self.next_rand().is_multiple_of(2) {
+                let pick = if nfree > 1 && self.next_rand().is_multiple_of(2) {
                     free[1]
                 } else {
                     free[0]

@@ -168,16 +168,84 @@ impl RecordedTrace {
         Replay {
             trace: self,
             idx: 0,
+            end: self.len(),
             block_start: self.first_block_start,
         }
     }
+
+    /// Chunked replay of the first `steps` steps: successive bounded
+    /// [`Replay`] iterators of at most `chunk_size` steps each, whose
+    /// concatenation is bit-identical to `replay().take(steps)`.
+    ///
+    /// Chunk boundaries need no scan to establish: the `block_start` of a
+    /// chunk's first step is `next_pc` of the step before it (the walker
+    /// chaining invariant), so each chunk is an independent column-slice
+    /// view — the batched simulation kernel consumes these, and tests
+    /// replay individual chunks in isolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0 or `steps > len()`.
+    #[must_use]
+    pub fn chunks(&self, steps: usize, chunk_size: usize) -> Chunks<'_> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        assert!(steps <= self.len(), "chunked replay longer than recording");
+        Chunks {
+            trace: self,
+            lo: 0,
+            steps,
+            chunk_size,
+        }
+    }
 }
+
+/// Iterator of bounded [`Replay`] chunks (see [`RecordedTrace::chunks`]).
+#[derive(Debug, Clone)]
+pub struct Chunks<'t> {
+    trace: &'t RecordedTrace,
+    lo: usize,
+    steps: usize,
+    chunk_size: usize,
+}
+
+impl<'t> Iterator for Chunks<'t> {
+    type Item = Replay<'t>;
+
+    fn next(&mut self) -> Option<Replay<'t>> {
+        let lo = self.lo;
+        if lo >= self.steps {
+            return None;
+        }
+        let hi = (lo + self.chunk_size).min(self.steps);
+        self.lo = hi;
+        Some(Replay {
+            trace: self.trace,
+            idx: lo,
+            end: hi,
+            block_start: if lo == 0 {
+                self.trace.first_block_start
+            } else {
+                self.trace.next_pc[lo - 1]
+            },
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.steps - self.lo.min(self.steps)).div_ceil(self.chunk_size);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Chunks<'_> {}
 
 /// Iterator over a [`RecordedTrace`]. Pure column reads.
 #[derive(Debug, Clone)]
 pub struct Replay<'t> {
     trace: &'t RecordedTrace,
     idx: usize,
+    /// One past the last step this iterator yields (`len()` for a full
+    /// replay; a chunk boundary for [`RecordedTrace::chunks`]).
+    end: usize,
     /// `block_start` of the step about to be yielded (chained).
     block_start: u64,
 }
@@ -188,7 +256,7 @@ impl Iterator for Replay<'_> {
     fn next(&mut self) -> Option<TraceStep> {
         let t = self.trace;
         let i = self.idx;
-        if i >= t.branch_pc.len() {
+        if i >= self.end {
             return None;
         }
         let next_pc = t.next_pc[i];
@@ -207,7 +275,7 @@ impl Iterator for Replay<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = self.trace.branch_pc.len() - self.idx;
+        let rem = self.end - self.idx;
         (rem, Some(rem))
     }
 }

@@ -69,6 +69,25 @@ proptest! {
         prop_assert_eq!(long.prefix(short), fresh);
     }
 
+    /// Chunked replay is a pure partition of the step stream: concatenating
+    /// the steps of `chunks(steps, chunk_size)` equals `replay().take(steps)`
+    /// for any chunk size, including sizes around and beyond the length.
+    #[test]
+    fn chunks_concatenate_to_the_replay_stream(
+        prog_seed in any::<u64>(),
+        walk_seed in any::<u64>(),
+        bolted in any::<bool>(),
+        steps in 0usize..900,
+        chunk in 1usize..1100,
+    ) {
+        let program = Program::generate(&small_spec(prog_seed, bolted));
+        let trace = RecordedTrace::record(&program, walk_seed, 6, 900);
+        let whole: Vec<_> = trace.replay().take(steps).collect();
+        let chunked: Vec<_> = trace.chunks(steps, chunk).flatten().collect();
+        prop_assert_eq!(chunked, whole);
+        prop_assert_eq!(trace.chunks(steps, chunk).count(), steps.div_ceil(chunk));
+    }
+
     /// RNG isolation: recording a trace mid-walk must not perturb an
     /// independent live walker. The walker drawn to completion in one gulp
     /// must equal the walker that was interleaved with recording activity.
@@ -89,6 +108,35 @@ proptest! {
         observed.extend(interleaved.take(600 - pause_at));
         prop_assert_eq!(observed, reference);
     }
+}
+
+/// Each chunk opens at the walker-chaining invariant's boundary: its first
+/// step's `block_start` equals the previous chunk's final `next_pc`, with no
+/// scan over the skipped prefix. Exercises the edge sizes explicitly.
+#[test]
+fn chunk_boundaries_chain_without_scanning() {
+    let program = Program::generate(&small_spec(5, false));
+    let trace = RecordedTrace::record(&program, 42, 6, 1000);
+    for chunk_size in [1usize, 7, 250, 999, 1000, 1001] {
+        let chunks: Vec<Vec<_>> = trace
+            .chunks(1000, chunk_size)
+            .map(Iterator::collect)
+            .collect();
+        assert_eq!(chunks.len(), 1000usize.div_ceil(chunk_size));
+        for pair in chunks.windows(2) {
+            let prev_last = pair[0].last().expect("chunks are non-empty");
+            let next_first = pair[1].first().expect("chunks are non-empty");
+            assert_eq!(
+                next_first.block_start, prev_last.next_pc,
+                "chunk_size={chunk_size}"
+            );
+        }
+    }
+    // Degenerate shapes: zero steps yields no chunks; an oversized chunk
+    // yields exactly one covering the whole request.
+    assert_eq!(trace.chunks(0, 64).count(), 0);
+    let all: Vec<_> = trace.chunks(1000, 4096).flatten().collect();
+    assert_eq!(all.len(), 1000);
 }
 
 /// Replaying twice from one recording yields identical streams — replay holds
