@@ -13,17 +13,19 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use skia_core::SkiaConfig;
-use skia_frontend::{FrontendConfig, SimStats, Simulator};
+use skia_frontend::{FrontendConfig, SampleFault, SimStats, Simulator};
 use skia_telemetry::{Snapshot, TraceConfig};
 use skia_workloads::profiles::PAPER_BENCHMARKS;
 use skia_workloads::{
-    load_or_record_trace, profile, Profile, Program, RecordedTrace, TraceCacheOutcome, Walker,
+    load_or_record_trace, profile, Profile, Program, RecordedTrace, SamplingConfig, SamplingPlan,
+    TraceCacheOutcome, Walker,
 };
 
+pub mod pins;
 pub mod report;
 
 pub use skia_frontend::stats::geomean;
-pub use skia_runner::{thread_count, SweepReport};
+pub use skia_runner::{sampling_env, thread_count, SamplingEnv, SweepReport};
 
 /// Default trace length (true-path basic blocks) per benchmark run.
 ///
@@ -40,6 +42,30 @@ pub fn steps_from_env() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_STEPS)
+}
+
+/// Materialize the [`SamplingConfig`] for a `steps`-long run from resolved
+/// `SKIA_SAMPLE*` knobs: the scaled [`SamplingConfig::for_steps`] default,
+/// with each explicitly-set knob overriding its field. An explicit interval
+/// rescales the default warmup (one tenth of the interval, matching
+/// [`SamplingConfig::for_steps`]) unless warmup was itself set.
+#[must_use]
+pub fn sampling_config_for(steps: usize, env: &SamplingEnv) -> SamplingConfig {
+    let mut cfg = SamplingConfig::for_steps(steps);
+    if let Some(i) = env.interval {
+        cfg.interval = i;
+        cfg.warmup = i / 10;
+    }
+    if let Some(k) = env.k {
+        cfg.k = k;
+    }
+    if let Some(w) = env.warmup {
+        cfg.warmup = w;
+    }
+    if let Some(s) = env.seed {
+        cfg.seed = s;
+    }
+    cfg
 }
 
 /// A materialized benchmark: profile + generated program.
@@ -152,6 +178,54 @@ impl Workload {
         )
     }
 
+    /// Run one *sampled* simulation over a pre-recorded trace: every slice
+    /// of `plan` is replayed warmup-then-measure and the returned stats are
+    /// the weighted whole-trace estimate (see `skia_frontend::sampling`).
+    /// With the degenerate plan this equals [`Workload::run_trace`] byte
+    /// for byte.
+    ///
+    /// `fault` plants a deliberate sampling bug for harness validation;
+    /// production callers pass `None`.
+    #[must_use]
+    pub fn run_sampled_trace(
+        &self,
+        config: FrontendConfig,
+        trace: &RecordedTrace,
+        plan: &SamplingPlan,
+        fault: Option<SampleFault>,
+    ) -> SimStats {
+        SAMPLING_TOTALS.note_plan(plan);
+        skia_frontend::run_plan(
+            &self.program,
+            &config,
+            trace,
+            plan,
+            skia_runner::chunk_size(),
+            fault,
+        )
+    }
+
+    /// [`Workload::run_sampled_trace`] plus the synthetic estimate
+    /// [`Snapshot`] carrying `sampling.*` plan provenance.
+    #[must_use]
+    pub fn run_sampled_instrumented_trace(
+        &self,
+        config: FrontendConfig,
+        trace: &RecordedTrace,
+        plan: &SamplingPlan,
+        fault: Option<SampleFault>,
+    ) -> (SimStats, Snapshot) {
+        SAMPLING_TOTALS.note_plan(plan);
+        skia_frontend::run_plan_instrumented(
+            &self.program,
+            &config,
+            trace,
+            plan,
+            skia_runner::chunk_size(),
+            fault,
+        )
+    }
+
     /// Run one simulation, recording its telemetry into `emitter` when the
     /// binary was invoked with `--emit-json <path>` (a plain [`Workload::run`]
     /// otherwise).
@@ -238,6 +312,33 @@ struct SimTotals {
 static SIM_TOTALS: SimTotals = SimTotals {
     steps: AtomicU64::new(0),
     busy_micros: AtomicU64::new(0),
+};
+
+/// Process-wide sampled-run totals, surfaced by [`JsonEmitter::finish`] as
+/// `sampling.*` counters so an emitted payload proves whether (and how
+/// much) phase sampling ran: jobs sampled, steps actually replayed, and
+/// steps the estimates stand for. `represented / replayed` is the realized
+/// compression factor the CI sampling-smoke job asserts on.
+struct SamplingTotals {
+    jobs: AtomicU64,
+    replayed_steps: AtomicU64,
+    represented_steps: AtomicU64,
+}
+
+impl SamplingTotals {
+    fn note_plan(&self, plan: &SamplingPlan) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.replayed_steps
+            .fetch_add(plan.replayed_steps() as u64, Ordering::Relaxed);
+        self.represented_steps
+            .fetch_add(plan.total_steps as u64, Ordering::Relaxed);
+    }
+}
+
+static SAMPLING_TOTALS: SamplingTotals = SamplingTotals {
+    jobs: AtomicU64::new(0),
+    replayed_steps: AtomicU64::new(0),
+    represented_steps: AtomicU64::new(0),
 };
 
 /// Process-wide [`RecordedTrace`] memo keyed by benchmark name, holding the
@@ -444,6 +545,7 @@ struct SweepJob {
 pub struct Sweep {
     threads: usize,
     quiet: bool,
+    sampling: Option<SamplingEnv>,
     jobs: Vec<SweepJob>,
 }
 
@@ -454,14 +556,31 @@ impl Sweep {
         Sweep {
             threads,
             quiet: false,
+            sampling: None,
             jobs: Vec::new(),
         }
     }
 
-    /// An empty sweep sized by the parsed [`Args`].
+    /// An empty sweep sized by the parsed [`Args`], with phase sampling
+    /// armed when `SKIA_SAMPLE=1` is set (every experiment binary gets the
+    /// sampled fast path through the same env contract as `SKIA_STEPS`).
     #[must_use]
     pub fn from_args(args: &Args) -> Sweep {
-        Sweep::new(args.thread_count())
+        let env = sampling_env();
+        let mut sweep = Sweep::new(args.thread_count());
+        if env.enabled {
+            sweep.sampling = Some(env);
+        }
+        sweep
+    }
+
+    /// Force sampled simulation with the given knobs (harnesses and the
+    /// sampling probe; experiment binaries get this from `SKIA_SAMPLE*`
+    /// via [`Sweep::from_args`]).
+    #[must_use]
+    pub fn sampled(mut self, env: SamplingEnv) -> Sweep {
+        self.sampling = Some(env);
+        self
     }
 
     /// Suppress the stderr timing summary (benches and tests).
@@ -551,16 +670,46 @@ impl Sweep {
         // -- simulate phase --------------------------------------------------
         let _simulate_span = skia_telemetry::span("sweep.simulate");
         let tc = emitter.trace_config();
+        let sampling = &self.sampling;
         let (timed, report) = skia_runner::run_timed(&self.jobs, self.threads, |_, job| {
             let _g = skia_telemetry::span_with(|| format!("sim.job:{}", job.bench));
             let w = workload(&job.bench);
             let trace = &traces[index[job.bench.as_str()]];
+            // Sampled path: build the plan (a pure function of trace +
+            // knobs, so thread- and order-invariant) and replay only its
+            // slices. Returns the steps actually replayed so the
+            // throughput totals report real work, not represented work.
+            if let Some(env) = sampling {
+                let cfg = sampling_config_for(job.steps, env);
+                let plan = SamplingPlan::build(trace, job.steps, &cfg);
+                let replayed = plan.replayed_steps() as u64;
+                let (stats, snapshot) = match tc {
+                    None => (
+                        w.run_sampled_trace(job.config.clone(), trace, &plan, None),
+                        None,
+                    ),
+                    Some(_) => {
+                        let (stats, snap) = w.run_sampled_instrumented_trace(
+                            job.config.clone(),
+                            trace,
+                            &plan,
+                            None,
+                        );
+                        (stats, Some(snap))
+                    }
+                };
+                return (stats, snapshot, replayed);
+            }
             match tc {
-                None => (w.run_trace(job.config.clone(), trace, job.steps), None),
+                None => (
+                    w.run_trace(job.config.clone(), trace, job.steps),
+                    None,
+                    job.steps as u64,
+                ),
                 Some(tc) => {
                     let (stats, snapshot) =
                         w.run_instrumented_trace(job.config.clone(), trace, job.steps, Some(tc));
-                    (stats, Some(snapshot))
+                    (stats, Some(snapshot), job.steps as u64)
                 }
             }
         });
@@ -575,7 +724,7 @@ impl Sweep {
             }
         }
         SIM_TOTALS.steps.fetch_add(
-            self.jobs.iter().map(|j| j.steps as u64).sum::<u64>(),
+            timed.iter().map(|t| t.value.2).sum::<u64>(),
             Ordering::Relaxed,
         );
         SIM_TOTALS.busy_micros.fetch_add(
@@ -584,7 +733,7 @@ impl Sweep {
         );
         let mut out = Vec::with_capacity(timed.len());
         for t in timed {
-            let (stats, snapshot) = t.value;
+            let (stats, snapshot, _) = t.value;
             if let Some(snapshot) = &snapshot {
                 emitter.record(snapshot);
             }
@@ -698,6 +847,23 @@ impl JsonEmitter {
             self.merged
                 .gauges
                 .insert("sim.steps_per_sec".into(), sim_steps as f64 / busy);
+        }
+        // Phase-sampling totals: whether sampled simulation ran, how many
+        // steps it replayed, and how many whole-trace steps the estimates
+        // stand for (represented / replayed = realized compression).
+        let sampled_jobs = SAMPLING_TOTALS.jobs.load(Ordering::Relaxed);
+        c.insert("sampling.jobs".into(), sampled_jobs);
+        if sampled_jobs > 0 {
+            let replayed = SAMPLING_TOTALS.replayed_steps.load(Ordering::Relaxed);
+            let represented = SAMPLING_TOTALS.represented_steps.load(Ordering::Relaxed);
+            c.insert("sampling.replayed_steps".into(), replayed);
+            c.insert("sampling.represented_steps".into(), represented);
+            if replayed > 0 {
+                self.merged.gauges.insert(
+                    "sampling.compression".into(),
+                    represented as f64 / replayed as f64,
+                );
+            }
         }
         // Cache I/O totals: bytes actually moved and per-column seeks issued
         // by the program/trace caches (skia-workloads process-wide meters).

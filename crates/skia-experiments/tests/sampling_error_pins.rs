@@ -1,0 +1,58 @@
+//! Error-bound regression pins: the committed `ci/sampling-error-pins.json`
+//! must stay valid, and (under `SKIA_PIN_FULL=1`) a full recomputation must
+//! not be worse than it on any counter.
+//!
+//! Two tiers, matching how expensive they are:
+//!
+//! * [`committed_pins_are_valid`] runs always: the committed file parses,
+//!   covers every figure workload and counter, keeps every pinned counter
+//!   within the 2% threshold, and records at least the 5× compression the
+//!   acceptance criteria demand. This is what makes hand-editing the file
+//!   to paper over a regression fail in CI.
+//! * [`recomputed_pins_do_not_worsen`] runs only with `SKIA_PIN_FULL=1`
+//!   (the release CI job sets it): recompute all 24 simulations at paper
+//!   scale and require every counter's error to be at most the committed
+//!   value. Both sides are deterministic and the file stores rounded-up
+//!   ceilings, so any genuine worsening — pinned *or* informational —
+//!   fails; improvements keep passing until the file is regenerated with
+//!   `sampling_probe --write-pins`.
+
+use skia_experiments::pins::{PinReport, PIN_COUNTERS, PIN_STEPS, PIN_WORKLOADS};
+
+#[test]
+fn committed_pins_are_valid() {
+    let report = PinReport::load_committed().expect("committed pins must load");
+    assert_eq!(
+        report.steps, PIN_STEPS,
+        "pins must be recorded at paper scale"
+    );
+    report.validate().expect("committed pins must hold");
+}
+
+#[test]
+fn recomputed_pins_do_not_worsen() {
+    if std::env::var("SKIA_PIN_FULL").is_err() {
+        eprintln!("skipping full pin recomputation; set SKIA_PIN_FULL=1 to run");
+        return;
+    }
+    let committed = PinReport::load_committed().expect("committed pins must load");
+    let fresh = PinReport::compute(PIN_STEPS);
+    fresh.validate().expect("recomputed pins must hold");
+    assert!(
+        fresh.min_compression >= committed.min_compression,
+        "plan compression regressed: {} < committed {}",
+        fresh.min_compression,
+        committed.min_compression
+    );
+    for name in PIN_WORKLOADS {
+        for &(counter, _) in PIN_COUNTERS {
+            let now = fresh.workloads[name][counter];
+            let pinned = committed.workloads[name][counter];
+            assert!(
+                now <= pinned + 1e-9,
+                "{name}: {counter} error worsened to {now} (committed {pinned}); \
+                 if intentional, regenerate with `sampling_probe --write-pins`"
+            );
+        }
+    }
+}

@@ -35,13 +35,15 @@
 
 pub mod bpu;
 pub mod config;
+pub mod sampling;
 pub mod sim;
 pub mod stats;
 pub mod telemetry;
 
 pub use bpu::{Bpu, PredictedBlock, PredictedBranch};
 pub use config::{BtbMode, FrontendConfig};
-pub use sim::{BatchFault, Simulator};
+pub use sampling::{run_plan, run_plan_instrumented};
+pub use sim::{BatchFault, SampleFault, Simulator};
 pub use stats::SimStats;
 pub use telemetry::{FrontendTelemetry, SimCounters};
 

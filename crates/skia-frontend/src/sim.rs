@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use skia_isa::BranchKind;
 use skia_telemetry::{EventKind, EventTrace, MetricRegistry, Snapshot, TraceConfig};
 use skia_uarch::cache::Hierarchy;
-use skia_workloads::{Program, RecordedTrace, TraceStep};
+use skia_workloads::{Program, RecordedTrace, SliceJob, TraceStep};
 
 use crate::bpu::{Bpu, PredictedBlock};
 use crate::config::FrontendConfig;
@@ -37,6 +37,40 @@ pub enum BatchFault {
     /// boundary, double-counting every pending delta — the classic
     /// accumulator-lifecycle bug a batched kernel can introduce.
     DoubleFlush,
+}
+
+/// Deliberate sampled-replay bugs, passable to
+/// [`Simulator::run_slice`] to prove the sampled-vs-full error-bound
+/// harness actually detects a broken sampling pipeline (the [`BatchFault`]
+/// discipline applied to phase sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFault {
+    /// Skip the warmup replay entirely: every measured window starts from
+    /// cold predictors and caches — the exact bias warmup exists to remove.
+    /// The measure window itself is unchanged, so retirement counters stay
+    /// right while miss-class counters inflate past the harness bounds.
+    SkipWarmup,
+}
+
+/// Cumulative state captured at the warmup/measure boundary of a sampled
+/// slice. A plan's slices replay through **one** simulator in trace order
+/// (state carryover — see [`crate::sampling::run_plan`]), so at a boundary
+/// every counter — registry cells, cache hierarchy, Skia — already holds
+/// the earlier slices' measured work plus this slice's (muted-but-state-
+/// changing) warmup. The whole cumulative picture is baselined here and
+/// subtracted after the measure, leaving exactly the measured window.
+#[derive(Debug, Clone)]
+struct MeasureBase {
+    /// `decode_free` at measure start (the slice-local cycle origin).
+    cycle_base: u64,
+    /// `ftq.occupancy` histogram sum at measure start.
+    ftq_sum: u64,
+    /// `ftq.occupancy` histogram count at measure start.
+    ftq_count: u64,
+    /// Full cumulative stats at measure start. `cycles` and
+    /// `mean_ftq_occupancy` are computed quantities with their own bases
+    /// above; every other field is subtracted verbatim.
+    prior: SimStats,
 }
 
 /// Average x86 instruction length assumed when estimating decode occupancy
@@ -196,6 +230,114 @@ impl<'p> Simulator<'p> {
             self.flush_chunk();
         }
         self.finalize()
+    }
+
+    /// Replay one sampling slice — warmup-then-measure — and return the
+    /// statistics of the *measured window only*.
+    ///
+    /// The warmup window `[skip, skip+warmup)` replays through the normal
+    /// per-step path but is **muted**: its telemetry deltas are discarded
+    /// (never flushed) while its architectural effect — trained predictors,
+    /// filled caches, a populated SBB — persists into the measured window,
+    /// which is the whole point of warmup.
+    ///
+    /// Slices of one plan run through **one** simulator in trace order
+    /// (state carryover): the working set a slice accumulates in the BTB,
+    /// caches and SBB stays live for the next slice, and the short warmup
+    /// only re-syncs recent-phase state (TAGE histories, RAS, replacement
+    /// recency). Without carryover each slice would pay the full structure
+    /// fill from cold, which at realistic structure sizes takes far longer
+    /// than any affordable warmup and biases every miss-class counter
+    /// upward. Everything cumulative is baselined at the warmup/measure
+    /// boundary and subtracted from the result, so the returned stats cover
+    /// exactly the measured window no matter how much history precedes it;
+    /// the cycle ledger is re-originated at the boundary the same way.
+    ///
+    /// Called with the degenerate slice (`skip = warmup = 0`, `simulate =
+    /// steps`) on a fresh simulator this is [`Simulator::run_batched`] byte
+    /// for byte: same chunk cadence, same finalization arithmetic against
+    /// an all-zero baseline. The `sampled_vs_full` proptest pins that
+    /// equality.
+    ///
+    /// `fault` plants a deliberate sampling bug (see [`SampleFault`]);
+    /// production runners pass `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0 or the slice's measure window extends
+    /// past the recording.
+    pub fn run_slice(
+        &mut self,
+        trace: &RecordedTrace,
+        slice: &SliceJob,
+        chunk_size: usize,
+        fault: Option<SampleFault>,
+    ) -> SimStats {
+        let measure_start = slice.measure_start();
+        let warm_lo = if fault == Some(SampleFault::SkipWarmup) {
+            measure_start // cold start: the bias the harness must catch
+        } else {
+            slice.skip
+        };
+        if warm_lo < slice.measure_end() {
+            // Re-sync the IAG to the slice's entry point. With state
+            // carryover the BPU is still positioned at the previous slice's
+            // end, and lockstep requires predicted blocks to align with the
+            // true path. This is a pure position redirect — the in-flight
+            // block from before the gap is dropped and no resteer penalty
+            // is charged (the measure baseline is captured after warmup
+            // anyway). On a fresh simulator at `lo == 0` the redirect
+            // rewrites the BPU's start state with identical values, so the
+            // degenerate byte-exactness contract is untouched.
+            let (entry_pc, entered_by_branch) = trace.entry_at(warm_lo);
+            self.pending = None;
+            self.ftq.clear();
+            self.bpu.resteer(entry_pc, entered_by_branch);
+        }
+        for step in trace.window(warm_lo, measure_start) {
+            self.replay_step(&step);
+        }
+        // Mute the warmup: drop its pending deltas instead of flushing.
+        self.acc = SimAccum::default();
+        let base = MeasureBase {
+            cycle_base: self.decode_free,
+            ftq_sum: self.tel.ftq_occupancy.sum(),
+            ftq_count: self.tel.ftq_occupancy.count(),
+            prior: self.stats(),
+        };
+        for chunk in trace.chunks_range(measure_start, slice.measure_end(), chunk_size) {
+            for step in chunk {
+                self.replay_step(&step);
+            }
+            self.flush_chunk();
+        }
+        self.finalize_measured(&base)
+    }
+
+    /// [`Simulator::finalize`] against a measure-boundary baseline: every
+    /// cumulative counter has the prior history subtracted, the cycle
+    /// ledger is re-originated at the boundary, and the FTQ mean comes from
+    /// the histogram's windowed (sum, count) difference. With an all-zero
+    /// baseline this is `finalize` exactly.
+    fn finalize_measured(&mut self, base: &MeasureBase) -> SimStats {
+        let now = self.stats(); // flushes pending deltas first
+        let mut stats = crate::sampling::sim_stats_delta(&now, &base.prior);
+        let retire_floor = stats
+            .instructions
+            .div_ceil(u64::from(self.config.retire_width));
+        // `decode_free` is monotone, so the subtraction cannot underflow.
+        let measured_frontier = self.decode_free - base.cycle_base;
+        stats.cycles = measured_frontier.max(retire_floor) + u64::from(self.config.backend_depth);
+        let d_sum = self.tel.ftq_occupancy.sum().wrapping_sub(base.ftq_sum);
+        let d_count = self.tel.ftq_occupancy.count() - base.ftq_count;
+        // Same arithmetic as `HistogramSnapshot::mean`, so the degenerate
+        // slice (zero base) reproduces the full run's mean bit for bit.
+        stats.mean_ftq_occupancy = if d_count == 0 {
+            0.0
+        } else {
+            d_sum as f64 / d_count as f64
+        };
+        stats
     }
 
     /// The shared per-step body of [`Simulator::run`] and

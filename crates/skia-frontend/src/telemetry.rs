@@ -74,6 +74,15 @@ macro_rules! define_sim_counters {
             pub fn materialize_into(&self, stats: &mut SimStats) {
                 $(stats.$field = self.$field.get();)+
             }
+
+            /// Set every counter from the matching [`SimStats`] fields —
+            /// the reverse of [`SimCounters::materialize_into`]. Sampled
+            /// runs use this to rebuild a registry snapshot around an
+            /// estimated stats struct, so `--emit-json` payloads keep one
+            /// shape whether a run was full or sampled.
+            pub fn store_from(&self, stats: &SimStats) {
+                $(self.$field.set(stats.$field);)+
+            }
         }
     };
 }

@@ -86,6 +86,15 @@ impl Histogram {
         self.0.borrow().count
     }
 
+    /// Wrapping sum of every recorded value. Together with
+    /// [`Histogram::count`] this lets a caller compute the mean of a *window*
+    /// of records by differencing two observations — sampled replay uses
+    /// this for per-slice FTQ occupancy.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
     /// Fold another histogram's contents into this one.
     pub fn merge(&self, other: &Histogram) {
         if Rc::ptr_eq(&self.0, &other.0) {

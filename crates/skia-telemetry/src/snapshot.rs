@@ -75,17 +75,11 @@ impl Snapshot {
             .iter()
             .filter(|&(_, &v)| v > 0)
             .map(|(name, &v)| {
-                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-                let mut mix = |b: u8| {
-                    hash ^= u64::from(b);
-                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-                };
-                for &b in name.as_bytes() {
-                    mix(b);
-                }
-                mix(0xFE); // separator: name bytes never collide with bucket
-                mix(v.ilog2() as u8);
-                hash
+                let mut bytes = Vec::with_capacity(name.len() + 2);
+                bytes.extend_from_slice(name.as_bytes());
+                bytes.push(0xFE); // separator: name bytes never collide with bucket
+                bytes.push(v.ilog2() as u8);
+                crate::fnv1a(&bytes)
             })
             .collect()
     }

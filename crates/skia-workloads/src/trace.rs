@@ -188,13 +188,74 @@ impl RecordedTrace {
     /// Panics if `chunk_size` is 0 or `steps > len()`.
     #[must_use]
     pub fn chunks(&self, steps: usize, chunk_size: usize) -> Chunks<'_> {
+        self.chunks_range(0, steps, chunk_size)
+    }
+
+    /// Chunked replay of the half-open step window `[lo, hi)` — the
+    /// mid-trace generalization of [`RecordedTrace::chunks`] that SimPoint
+    /// slices consume. The first chunk's opening `block_start` comes from
+    /// the chaining invariant (`next_pc[lo-1]`), so starting mid-trace
+    /// costs one column read, not a prefix scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0, `lo > hi`, or `hi > len()`.
+    #[must_use]
+    pub fn chunks_range(&self, lo: usize, hi: usize, chunk_size: usize) -> Chunks<'_> {
         assert!(chunk_size > 0, "chunk_size must be positive");
-        assert!(steps <= self.len(), "chunked replay longer than recording");
+        assert!(lo <= hi, "window start past its end");
+        assert!(hi <= self.len(), "chunked replay longer than recording");
         Chunks {
             trace: self,
-            lo: 0,
-            steps,
+            lo,
+            end: hi,
             chunk_size,
+        }
+    }
+
+    /// The replay entry state at step `lo`: the block-start PC of the step
+    /// about to execute and whether that block is entered through a taken
+    /// branch (the previous step's `taken` bit; `true` at `lo == 0`,
+    /// matching a fresh BPU positioned at the program entry). Sampled
+    /// replay uses this to re-sync the IAG when a slice jumps over a trace
+    /// gap: the values are exactly what a continuous replay would have
+    /// chained to at that index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > len()`.
+    #[must_use]
+    pub fn entry_at(&self, lo: usize) -> (u64, bool) {
+        assert!(lo <= self.len(), "entry past the recording");
+        if lo == 0 {
+            (self.first_block_start, true)
+        } else {
+            let i = lo - 1;
+            (self.next_pc[i], (self.taken[i / 64] >> (i % 64)) & 1 == 1)
+        }
+    }
+
+    /// Replay of the half-open step window `[lo, hi)`: bit-identical to
+    /// `replay().skip(lo).take(hi - lo)` but O(1) to position (the opening
+    /// `block_start` is chained from `next_pc[lo-1]`). Sampling warmup
+    /// windows use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > len()`.
+    #[must_use]
+    pub fn window(&self, lo: usize, hi: usize) -> Replay<'_> {
+        assert!(lo <= hi, "window start past its end");
+        assert!(hi <= self.len(), "window longer than recording");
+        Replay {
+            trace: self,
+            idx: lo,
+            end: hi,
+            block_start: if lo == 0 {
+                self.first_block_start
+            } else {
+                self.next_pc[lo - 1]
+            },
         }
     }
 }
@@ -204,7 +265,7 @@ impl RecordedTrace {
 pub struct Chunks<'t> {
     trace: &'t RecordedTrace,
     lo: usize,
-    steps: usize,
+    end: usize,
     chunk_size: usize,
 }
 
@@ -213,10 +274,10 @@ impl<'t> Iterator for Chunks<'t> {
 
     fn next(&mut self) -> Option<Replay<'t>> {
         let lo = self.lo;
-        if lo >= self.steps {
+        if lo >= self.end {
             return None;
         }
-        let hi = (lo + self.chunk_size).min(self.steps);
+        let hi = (lo + self.chunk_size).min(self.end);
         self.lo = hi;
         Some(Replay {
             trace: self.trace,
@@ -231,7 +292,7 @@ impl<'t> Iterator for Chunks<'t> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = (self.steps - self.lo.min(self.steps)).div_ceil(self.chunk_size);
+        let rem = (self.end - self.lo.min(self.end)).div_ceil(self.chunk_size);
         (rem, Some(rem))
     }
 }
